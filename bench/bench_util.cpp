@@ -1,0 +1,52 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+namespace appclass::bench {
+
+monitor::ProfiledRun profile_standalone(const std::string& app_name,
+                                        double vm1_ram_mb, std::uint64_t seed,
+                                        int sampling_interval_s) {
+  sim::TestbedOptions opts;
+  opts.seed = seed;
+  opts.vm1_ram_mb = vm1_ram_mb;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  monitor::ClusterMonitor mon(*tb.engine);
+  auto model =
+      workloads::make_by_name(app_name, static_cast<int>(tb.vm4));
+  APPCLASS_EXPECTS(model != nullptr);
+  const sim::InstanceId id = tb.engine->submit(tb.vm1, std::move(model));
+  return monitor::profile_instance(*tb.engine, mon, id, sampling_interval_s);
+}
+
+const core::ClassificationPipeline& trained_pipeline() {
+  static const core::ClassificationPipeline pipeline =
+      core::make_trained_pipeline();
+  return pipeline;
+}
+
+void print_composition_header() {
+  std::printf("%-18s %8s %8s %8s %8s %8s %8s  %s\n", "application",
+              "samples", "idle%", "io%", "cpu%", "net%", "paging%", "class");
+}
+
+void print_composition_row(const std::string& label,
+                           const core::ClassificationResult& result) {
+  const auto f = result.composition.fractions();
+  using core::ApplicationClass;
+  std::printf("%-18s %8zu %8.2f %8.2f %8.2f %8.2f %8.2f  %s\n", label.c_str(),
+              result.composition.samples(),
+              100.0 * f[core::index_of(ApplicationClass::kIdle)],
+              100.0 * f[core::index_of(ApplicationClass::kIo)],
+              100.0 * f[core::index_of(ApplicationClass::kCpu)],
+              100.0 * f[core::index_of(ApplicationClass::kNetwork)],
+              100.0 * f[core::index_of(ApplicationClass::kMemory)],
+              std::string(core::to_string(result.application_class)).c_str());
+}
+
+}  // namespace appclass::bench

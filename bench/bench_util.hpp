@@ -1,0 +1,31 @@
+// Shared helpers for the experiment-reproduction harnesses in bench/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "monitor/harness.hpp"
+
+namespace appclass::bench {
+
+/// Profiles one standalone run of catalog application `app_name` on the
+/// paper's testbed (target VM1 with `vm1_ram_mb`; VM4 available as the
+/// network peer) and returns the captured pool + timing.
+monitor::ProfiledRun profile_standalone(const std::string& app_name,
+                                        double vm1_ram_mb = 256.0,
+                                        std::uint64_t seed = 1234,
+                                        int sampling_interval_s = 5);
+
+/// Trains the paper's classifier once (memoized across calls within the
+/// process) and returns a reference to it.
+const core::ClassificationPipeline& trained_pipeline();
+
+/// Prints "name  #samples  idle%  io%  cpu%  net%  mem%  class" rows.
+void print_composition_row(const std::string& label,
+                           const core::ClassificationResult& result);
+
+void print_composition_header();
+
+}  // namespace appclass::bench

@@ -1,0 +1,137 @@
+// Reproduces Figure 3: PCA cluster diagrams.
+//
+//   (a) training data — five labelled clusters in (PC1, PC2)
+//   (b) SimpleScalar  — CPU-intensive test run
+//   (c) Autobench     — network-intensive test run
+//   (d) VMD           — interactive mix (idle / IO / network)
+//
+// For each diagram the harness prints per-class centroids, spreads, and
+// counts, plus a coarse ASCII scatter so the cluster geometry is visible
+// in a terminal. The raw (PC1, PC2) point lists are written to
+// fig3_<name>.csv next to the binary for external plotting.
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/trainer.hpp"
+
+namespace {
+
+using appclass::core::ApplicationClass;
+using appclass::core::kClassCount;
+
+struct LabelledPoints {
+  std::vector<std::array<double, 2>> points;
+  std::vector<ApplicationClass> labels;
+};
+
+void summarize(const std::string& title, const LabelledPoints& lp) {
+  std::printf("\n--- %s (%zu snapshots) ---\n", title.c_str(),
+              lp.points.size());
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    double m0 = 0, m1 = 0, n = 0;
+    for (std::size_t i = 0; i < lp.points.size(); ++i)
+      if (appclass::core::index_of(lp.labels[i]) == c) {
+        m0 += lp.points[i][0];
+        m1 += lp.points[i][1];
+        n += 1;
+      }
+    if (n == 0) continue;
+    m0 /= n;
+    m1 /= n;
+    double s0 = 0, s1 = 0;
+    for (std::size_t i = 0; i < lp.points.size(); ++i)
+      if (appclass::core::index_of(lp.labels[i]) == c) {
+        s0 += (lp.points[i][0] - m0) * (lp.points[i][0] - m0);
+        s1 += (lp.points[i][1] - m1) * (lp.points[i][1] - m1);
+      }
+    std::printf("  %-8s n=%5.0f  centroid=(%7.3f, %7.3f)  "
+                "spread=(%6.3f, %6.3f)\n",
+                std::string(appclass::core::to_string(
+                                appclass::core::class_from_index(c)))
+                    .c_str(),
+                n, m0, m1, std::sqrt(s0 / n), std::sqrt(s1 / n));
+  }
+
+  // ASCII scatter: 56 x 20 grid over the data's bounding box.
+  constexpr int W = 56, H = 20;
+  double lo0 = 1e18, hi0 = -1e18, lo1 = 1e18, hi1 = -1e18;
+  for (const auto& p : lp.points) {
+    lo0 = std::min(lo0, p[0]);
+    hi0 = std::max(hi0, p[0]);
+    lo1 = std::min(lo1, p[1]);
+    hi1 = std::max(hi1, p[1]);
+  }
+  if (hi0 <= lo0 || hi1 <= lo1) return;
+  std::vector<std::string> grid(H, std::string(W, '.'));
+  const char glyph[kClassCount] = {'-', 'o', '+', 'x', '#'};  // idle io cpu net mem
+  for (std::size_t i = 0; i < lp.points.size(); ++i) {
+    const int cx = std::min(W - 1, static_cast<int>((lp.points[i][0] - lo0) /
+                                                    (hi0 - lo0) * (W - 1)));
+    const int cy = std::min(H - 1, static_cast<int>((lp.points[i][1] - lo1) /
+                                                    (hi1 - lo1) * (H - 1)));
+    grid[static_cast<std::size_t>(H - 1 - cy)][static_cast<std::size_t>(cx)] =
+        glyph[appclass::core::index_of(lp.labels[i])];
+  }
+  std::printf("  PC2 ^  [- idle, o io, + cpu, x net, # mem]\n");
+  for (const auto& row : grid) std::printf("      |%s\n", row.c_str());
+  std::printf("      +%s> PC1\n", std::string(W, '-').c_str());
+}
+
+void write_csv(const std::string& name, const LabelledPoints& lp) {
+  std::ofstream out("fig3_" + name + ".csv");
+  out << "pc1,pc2,class\n";
+  for (std::size_t i = 0; i < lp.points.size(); ++i)
+    out << lp.points[i][0] << ',' << lp.points[i][1] << ','
+        << appclass::core::to_string(lp.labels[i]) << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace appclass;
+
+  std::printf("Figure 3 reproduction: PCA clustering diagrams\n");
+
+  // (a) training data with its ground-truth labels.
+  const auto pools = core::collect_training_pools();
+  core::ClassificationPipeline pipeline;
+  pipeline.train(pools);
+
+  LabelledPoints train;
+  for (const auto& lp : pools) {
+    const auto proj = pipeline.project(lp.pool);
+    for (std::size_t r = 0; r < proj.rows(); ++r) {
+      train.points.push_back({proj(r, 0), proj(r, 1)});
+      train.labels.push_back(lp.label);
+    }
+  }
+  const auto ev = pipeline.pca().explained_variance_ratio();
+  std::printf("PCA: q=%zu components, explained variance %.1f%% + %.1f%%\n",
+              pipeline.pca().components(), 100.0 * ev[0], 100.0 * ev[1]);
+  summarize("(a) training data", train);
+  write_csv("training", train);
+
+  // (b)-(d) test applications, labelled by the classifier itself.
+  const std::array<std::pair<const char*, const char*>, 3> tests = {
+      {{"(b) SimpleScalar", "simplescalar"},
+       {"(c) Autobench", "autobench"},
+       {"(d) VMD", "vmd"}}};
+  std::uint64_t seed = 4242;
+  for (const auto& [title, app] : tests) {
+    const auto run = bench::profile_standalone(app, 256.0, seed++);
+    const auto result = pipeline.classify(run.pool);
+    LabelledPoints lp;
+    for (std::size_t r = 0; r < result.projected.rows(); ++r) {
+      lp.points.push_back({result.projected(r, 0), result.projected(r, 1)});
+      lp.labels.push_back(result.class_vector[r]);
+    }
+    summarize(title, lp);
+    write_csv(app, lp);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Table 3: class compositions of every test application.
+//
+// Paper reference (dominant class per row):
+//   SPECseis96 A (medium, 256 MB VM) -> 99.7% CPU
+//   SPECseis96 C (small,  256 MB VM) -> 100%  CPU
+//   CH3D, SimpleScalar               -> 100%  CPU
+//   PostMark                         -> 96% IO (+ some paging)
+//   Bonnie                           -> 86% IO, 4% CPU, 10% paging
+//   SPECseis96 B (medium, 32 MB VM)  -> 43% IO, 50% CPU, 6.5% paging
+//   Stream                           -> 79% IO, 20% paging
+//   PostMark NFS, Autobench          -> 100% network
+//   NetPIPE                          -> 92% network (+4% idle, +4% IO)
+//   Sftp                             -> 98% network, 2% IO
+//   VMD                              -> 37% idle, 41% IO, 22% network
+//   XSpim                            -> 22% idle, 78% IO
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct Row {
+  std::string label;
+  std::string app;
+  double vm_ram_mb;
+};
+
+}  // namespace
+
+int main() {
+  using namespace appclass;
+
+  const std::vector<Row> rows = {
+      {"SPECseis96_A", "specseis_medium", 256.0},
+      {"SPECseis96_C", "specseis_small", 256.0},
+      {"CH3D", "ch3d", 256.0},
+      {"SimpleScalar", "simplescalar", 256.0},
+      {"PostMark", "postmark", 256.0},
+      {"Bonnie", "bonnie", 256.0},
+      {"SPECseis96_B", "specseis_medium", 32.0},
+      {"Stream", "stream", 256.0},
+      {"PostMark_NFS", "postmark_nfs", 256.0},
+      {"NetPIPE", "netpipe", 256.0},
+      {"Autobench", "autobench", 256.0},
+      {"Sftp", "sftp", 256.0},
+      {"VMD", "vmd", 256.0},
+      {"XSpim", "xspim", 256.0},
+  };
+
+  std::printf("Table 3 reproduction: application class compositions\n");
+  std::printf("(3-NN over 2 principal components of the 8 expert metrics, "
+              "d = 5 s)\n\n");
+  const core::ClassificationPipeline& pipeline = bench::trained_pipeline();
+  bench::print_composition_header();
+
+  std::uint64_t seed = 9000;
+  for (const auto& row : rows) {
+    const monitor::ProfiledRun run =
+        bench::profile_standalone(row.app, row.vm_ram_mb, seed++);
+    if (!run.completed || run.pool.empty()) {
+      std::printf("%-18s  DID NOT COMPLETE within tick budget\n",
+                  row.label.c_str());
+      continue;
+    }
+    const core::ClassificationResult result = pipeline.classify(run.pool);
+    bench::print_composition_row(row.label, result);
+  }
+  return 0;
+}

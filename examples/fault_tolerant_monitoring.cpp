@@ -1,0 +1,75 @@
+// Classification over a lossy monitoring path.
+//
+// Ganglia announcements travel over UDP: packets drop and nodes black out.
+// This example routes the simulated cluster's announcements through a
+// FaultyChannel (20% loss + occasional 30 s node blackouts) and through
+// the binary wire format (encode -> decode, as a real deployment would),
+// then classifies on the degraded stream — showing the majority-vote
+// composition barely moves.
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "monitor/fault_injection.hpp"
+#include "monitor/harness.hpp"
+#include "monitor/wire.hpp"
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+int main() {
+  using namespace appclass;
+
+  const core::ClassificationPipeline pipeline = core::make_trained_pipeline();
+
+  const auto run_with_loss = [&](double drop, double blackout)
+      -> core::ClassificationResult {
+    sim::TestbedOptions opts;
+    opts.seed = 515;
+    opts.four_vms = false;
+    sim::Testbed tb = sim::make_testbed(opts);
+    monitor::ClusterMonitor mon(*tb.engine);
+
+    // Degraded path: cluster bus -> faulty channel -> listener bus, with
+    // every surviving announcement marshalled through the wire format.
+    monitor::MetricBus degraded;
+    monitor::FaultOptions faults;
+    faults.drop_probability = drop;
+    faults.blackout_probability = blackout;
+    faults.blackout_s = 30;
+    monitor::FaultyChannel channel(mon.bus(), degraded, faults, 99);
+
+    metrics::DataPool pool("10.0.0.1");
+    degraded.subscribe([&](const metrics::Snapshot& s) {
+      const auto packet = monitor::encode_packet(s);
+      const auto decoded = monitor::decode_packet(packet);
+      if (!decoded) return;  // corrupt on the wire: discarded
+      if (decoded->node_ip == "10.0.0.1" && decoded->time % 5 == 0)
+        pool.add(*decoded);
+    });
+
+    const auto id = tb.engine->submit(tb.vm1, workloads::make_postmark());
+    while (tb.engine->instance(id).state != sim::InstanceState::kFinished)
+      tb.engine->step();
+    std::printf("  loss=%.0f%% blackout=%.0f%%: %zu of ~%lld samples "
+                "survived, ",
+                100.0 * drop, 100.0 * blackout, pool.size(),
+                static_cast<long long>(
+                    tb.engine->instance(id).elapsed() / 5));
+    return pipeline.classify(pool);
+  };
+
+  std::printf("classifying PostMark over increasingly degraded monitoring "
+              "paths:\n");
+  for (const auto& [drop, blackout] :
+       std::initializer_list<std::pair<double, double>>{
+           {0.0, 0.0}, {0.2, 0.0}, {0.4, 0.0}, {0.2, 0.02}}) {
+    const auto result = run_with_loss(drop, blackout);
+    std::printf("class=%s [%s]\n",
+                std::string(core::to_string(result.application_class))
+                    .c_str(),
+                result.composition.to_string().c_str());
+  }
+  std::printf("\nthe class composition is a per-snapshot majority: losing "
+              "samples thins the\nevidence but barely moves the verdict — "
+              "the paper's design is loss-tolerant by\nconstruction.\n");
+  return 0;
+}

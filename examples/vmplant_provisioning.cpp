@@ -1,0 +1,75 @@
+// VMPlant-style provisioning (paper section 2).
+//
+// Demonstrates the substrate the classifier was built for: applications
+// run in dedicated, automatically provisioned VMs. A golden image plus a
+// per-application configuration DAG defines each environment; the plant
+// caches configured clones, so the second VM for the same application
+// provisions in a fraction of the time. The freshly provisioned VM is
+// registered with the simulator, the application runs, and the classifier
+// learns its class — the full VMPlant + classifier + database loop.
+#include <cstdio>
+
+#include "core/appdb.hpp"
+#include "core/trainer.hpp"
+#include "monitor/harness.hpp"
+#include "sim/testbed.hpp"
+#include "vmplant/plant.hpp"
+#include "workloads/catalog.hpp"
+
+int main() {
+  using namespace appclass;
+
+  vmplant::VmPlant plant;
+  plant.register_image(vmplant::make_standard_image());
+
+  sim::Engine engine(2026);
+  const auto host_a = engine.add_host(sim::make_host_a_spec());
+
+  const core::ClassificationPipeline pipeline = core::make_trained_pipeline();
+  core::ApplicationDatabase db;
+
+  std::printf("provisioning application VMs from the golden image:\n");
+  const char* requests[] = {"postmark", "postmark", "ch3d"};
+  int n = 0;
+  for (const char* app : requests) {
+    vmplant::CloneRequest request;
+    request.image = "worker-256mb";
+    request.config = vmplant::make_app_environment_dag(app);
+    request.vm_name = std::string(app) + "-vm" + std::to_string(n);
+    request.vm_ip = "10.0.9." + std::to_string(++n);
+
+    const auto [vm, result] = plant.instantiate(engine, host_a, request);
+    std::printf("  %-12s -> %s in %5.0f s (%zu cached actions%s)\n", app,
+                request.vm_name.c_str(), result.provision_s,
+                result.cached_actions,
+                result.from_cache ? ", clone-cache hit" : "");
+
+    // Run and learn the application's class in its fresh VM.
+    monitor::ClusterMonitor mon(engine);
+    const auto id = engine.submit(vm, workloads::make_by_name(app));
+    const auto run = monitor::profile_instance(engine, mon, id, 5);
+    const auto classified = pipeline.classify(run.pool);
+
+    core::RunRecord record;
+    record.application = app;
+    record.config = "vmplant-256MB";
+    record.composition = classified.composition;
+    record.application_class = classified.application_class;
+    record.elapsed_seconds = run.elapsed();
+    record.samples = run.pool.size();
+    db.record(record);
+  }
+
+  std::printf("\nlearned application profiles:\n");
+  for (const auto& profile : db.all_profiles())
+    std::printf("  %-12s class=%-8s runs=%zu mean_elapsed=%.0fs\n",
+                profile.application.c_str(),
+                std::string(core::to_string(profile.typical_class)).c_str(),
+                profile.runs, profile.elapsed.mean());
+
+  std::printf("\nthe second postmark VM skipped every configuration "
+              "action thanks to the\nconfiguration-prefix clone cache — "
+              "VMPlant's core trick, reproduced; ch3d\nstill reused the "
+              "shared mount step.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Lightweight contract-checking macros used across the appclass libraries.
+//
+// Follows the C++ Core Guidelines Expects/Ensures idiom: preconditions and
+// postconditions are always checked (they guard against programmer error in
+// library composition, not user input), and failures terminate with a
+// diagnostic rather than continuing with corrupted state.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace appclass::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "appclass: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace appclass::detail
+
+#define APPCLASS_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::appclass::detail::contract_failure("precondition", #cond,      \
+                                                 __FILE__, __LINE__))
+
+#define APPCLASS_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::appclass::detail::contract_failure("postcondition", #cond,     \
+                                                 __FILE__, __LINE__))
+
+#define APPCLASS_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::appclass::detail::contract_failure("invariant", #cond,         \
+                                                 __FILE__, __LINE__))

@@ -1,0 +1,131 @@
+#include "core/appdb.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace appclass::core {
+
+void ApplicationDatabase::record(RunRecord run) {
+  APPCLASS_EXPECTS(!run.application.empty());
+  runs_.push_back(std::move(run));
+}
+
+std::optional<ApplicationProfile> ApplicationDatabase::profile(
+    const std::string& application, const std::string& config) const {
+  ApplicationProfile p;
+  p.application = application;
+  p.config = config;
+  std::array<std::size_t, kClassCount> class_votes{};
+  for (const auto& r : runs_) {
+    if (r.application != application || r.config != config) continue;
+    ++p.runs;
+    for (std::size_t c = 0; c < kClassCount; ++c)
+      p.mean_fractions[c] += r.composition.fractions()[c];
+    ++class_votes[index_of(r.application_class)];
+    p.elapsed.add(static_cast<double>(r.elapsed_seconds));
+  }
+  if (p.runs == 0) return std::nullopt;
+  for (double& f : p.mean_fractions) f /= static_cast<double>(p.runs);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < kClassCount; ++c)
+    if (class_votes[c] > class_votes[best]) best = c;
+  p.typical_class = class_from_index(best);
+  return p;
+}
+
+std::vector<ApplicationProfile> ApplicationDatabase::all_profiles() const {
+  std::vector<ApplicationProfile> out;
+  std::map<std::pair<std::string, std::string>, bool> seen;
+  for (const auto& r : runs_) {
+    const auto key = std::make_pair(r.application, r.config);
+    if (seen.contains(key)) continue;
+    seen[key] = true;
+    out.push_back(*profile(r.application, r.config));
+  }
+  return out;
+}
+
+std::optional<ApplicationClass> ApplicationDatabase::typical_class(
+    const std::string& application, const std::string& config) const {
+  const auto p = profile(application, config);
+  if (!p) return std::nullopt;
+  return p->typical_class;
+}
+
+std::string ApplicationDatabase::to_csv() const {
+  std::ostringstream os;
+  os << "application,config,class,elapsed_seconds,samples";
+  for (const auto& name : kClassNames) os << ",frac_" << name;
+  os << '\n';
+  os.precision(8);
+  for (const auto& r : runs_) {
+    os << r.application << ',' << r.config << ','
+       << to_string(r.application_class) << ',' << r.elapsed_seconds << ','
+       << r.samples;
+    for (double f : r.composition.fractions()) os << ',' << f;
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(',', start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double parse_num(const std::string& s) {
+  double v = 0.0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size())
+    throw std::runtime_error("ApplicationDatabase CSV: bad number '" + s +
+                             "'");
+  return v;
+}
+
+}  // namespace
+
+ApplicationDatabase ApplicationDatabase::from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("ApplicationDatabase CSV: empty input");
+  ApplicationDatabase db;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    if (cells.size() != 5 + kClassCount)
+      throw std::runtime_error("ApplicationDatabase CSV: bad column count");
+    RunRecord r;
+    r.application = cells[0];
+    r.config = cells[1];
+    const auto cls = class_from_string(cells[2]);
+    if (!cls)
+      throw std::runtime_error("ApplicationDatabase CSV: unknown class '" +
+                               cells[2] + "'");
+    r.application_class = *cls;
+    r.elapsed_seconds = static_cast<std::int64_t>(parse_num(cells[3]));
+    r.samples = static_cast<std::size_t>(parse_num(cells[4]));
+    std::array<double, kClassCount> fr{};
+    for (std::size_t c = 0; c < kClassCount; ++c)
+      fr[c] = parse_num(cells[5 + c]);
+    r.composition = ClassComposition::from_fractions(fr, r.samples);
+    db.record(std::move(r));
+  }
+  return db;
+}
+
+}  // namespace appclass::core

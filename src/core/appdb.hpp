@@ -1,0 +1,74 @@
+// The application database (paper sections 4.3 and Figure 1).
+//
+// Stores the post-processed classification result of every historical run
+// — class composition, majority class, execution time — keyed by
+// application name and execution-environment configuration. Schedulers
+// query it for the learned behaviour of an application; statistical
+// abstracts aggregate over repeated runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/composition.hpp"
+#include "linalg/stats.hpp"
+
+namespace appclass::core {
+
+/// One historical run record.
+struct RunRecord {
+  std::string application;  ///< catalog name, e.g. "postmark"
+  std::string config;       ///< environment key, e.g. "vm1-256MB"
+  ClassComposition composition;
+  ApplicationClass application_class = ApplicationClass::kIdle;
+  std::int64_t elapsed_seconds = 0;
+  std::size_t samples = 0;
+};
+
+/// Aggregate over all historical runs of one (application, config) pair.
+struct ApplicationProfile {
+  std::string application;
+  std::string config;
+  std::size_t runs = 0;
+  /// Mean class composition over runs.
+  std::array<double, kClassCount> mean_fractions{};
+  /// Majority class across runs (mode).
+  ApplicationClass typical_class = ApplicationClass::kIdle;
+  /// Execution-time statistics across runs.
+  linalg::RunningStats elapsed;
+};
+
+class ApplicationDatabase {
+ public:
+  /// Inserts a run record.
+  void record(RunRecord run);
+
+  std::size_t size() const noexcept { return runs_.size(); }
+
+  /// All stored runs, insertion order.
+  const std::vector<RunRecord>& runs() const noexcept { return runs_; }
+
+  /// Aggregated profile, or nullopt if the pair was never recorded.
+  std::optional<ApplicationProfile> profile(const std::string& application,
+                                            const std::string& config) const;
+
+  /// Profiles for every recorded (application, config) pair.
+  std::vector<ApplicationProfile> all_profiles() const;
+
+  /// Convenience: the typical class of an application under a config, or
+  /// nullopt when unknown — what a class-aware scheduler asks for.
+  std::optional<ApplicationClass> typical_class(
+      const std::string& application, const std::string& config) const;
+
+  /// Serializes all runs to CSV; `load_csv` round-trips it.
+  std::string to_csv() const;
+  static ApplicationDatabase from_csv(const std::string& csv);
+
+ private:
+  std::vector<RunRecord> runs_;
+};
+
+}  // namespace appclass::core

@@ -1,0 +1,50 @@
+// Application class labels.
+//
+// The paper classifies each snapshot — and, by majority vote, each
+// application run — into one of five classes: idle, I/O-intensive,
+// CPU-intensive, network-intensive, and memory/paging-intensive (the last
+// two are reported together as "I/O and paging-intensive" at the
+// application level, but trained as distinct snapshot classes; see Figure
+// 3(a)'s five clusters).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace appclass::core {
+
+enum class ApplicationClass : std::size_t {
+  kIdle = 0,
+  kIo,
+  kCpu,
+  kNetwork,
+  kMemory,  // paging-intensive
+};
+
+inline constexpr std::size_t kClassCount = 5;
+
+inline constexpr std::array<std::string_view, kClassCount> kClassNames = {
+    "idle", "io", "cpu", "network", "memory"};
+
+constexpr std::string_view to_string(ApplicationClass c) noexcept {
+  return kClassNames[static_cast<std::size_t>(c)];
+}
+
+constexpr std::size_t index_of(ApplicationClass c) noexcept {
+  return static_cast<std::size_t>(c);
+}
+
+constexpr ApplicationClass class_from_index(std::size_t i) noexcept {
+  return static_cast<ApplicationClass>(i);
+}
+
+inline std::optional<ApplicationClass> class_from_string(
+    std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kClassCount; ++i)
+    if (kClassNames[i] == name) return class_from_index(i);
+  return std::nullopt;
+}
+
+}  // namespace appclass::core

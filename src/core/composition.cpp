@@ -1,0 +1,52 @@
+#include "core/composition.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace appclass::core {
+
+ClassComposition::ClassComposition(
+    std::span<const ApplicationClass> class_vector) {
+  samples_ = class_vector.size();
+  if (samples_ == 0) return;
+  for (ApplicationClass c : class_vector)
+    fractions_[index_of(c)] += 1.0;
+  for (double& f : fractions_) f /= static_cast<double>(samples_);
+}
+
+ClassComposition ClassComposition::from_fractions(
+    const std::array<double, kClassCount>& fractions, std::size_t samples) {
+  ClassComposition out;
+  out.fractions_ = fractions;
+  out.samples_ = samples;
+  return out;
+}
+
+ApplicationClass ClassComposition::dominant() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < kClassCount; ++c)
+    if (fractions_[c] > fractions_[best]) best = c;
+  return class_from_index(best);
+}
+
+std::string ClassComposition::to_string() const {
+  std::string out;
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    if (fractions_[c] <= 0.0) continue;
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%s %.2f%%",
+                  std::string(kClassNames[c]).c_str(), 100.0 * fractions_[c]);
+    if (!out.empty()) out += " | ";
+    out += buf;
+  }
+  return out.empty() ? "(no samples)" : out;
+}
+
+ApplicationClass majority_vote(std::span<const ApplicationClass> classes) {
+  APPCLASS_EXPECTS(!classes.empty());
+  const ClassComposition comp(classes);
+  return comp.dominant();
+}
+
+}  // namespace appclass::core

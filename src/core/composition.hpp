@@ -1,0 +1,51 @@
+// Class vectors, majority votes and class compositions (paper section 4.3).
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/class_label.hpp"
+
+namespace appclass::core {
+
+/// Per-class fraction of snapshots — the paper's "class composition", the
+/// cpu%/mem%/io%/net%/idle% quantities fed into the cost model.
+class ClassComposition {
+ public:
+  ClassComposition() = default;
+
+  /// Builds the composition of a snapshot class vector.
+  explicit ClassComposition(std::span<const ApplicationClass> class_vector);
+
+  /// Reconstructs a composition from stored fractions (deserialization,
+  /// aggregation). Fractions should sum to ~1 unless empty.
+  static ClassComposition from_fractions(
+      const std::array<double, kClassCount>& fractions, std::size_t samples);
+
+  double fraction(ApplicationClass c) const noexcept {
+    return fractions_[index_of(c)];
+  }
+  std::span<const double, kClassCount> fractions() const noexcept {
+    return fractions_;
+  }
+  std::size_t samples() const noexcept { return samples_; }
+
+  /// The class with the largest share (the application's Class).
+  ApplicationClass dominant() const noexcept;
+
+  /// "idle 37.2% | io 40.7% | net 22.1%" — omits zero classes.
+  std::string to_string() const;
+
+ private:
+  std::array<double, kClassCount> fractions_{};
+  std::size_t samples_ = 0;
+};
+
+/// Majority vote over a snapshot class vector; ties break toward the class
+/// whose first occurrence is earliest (deterministic). Vector must be
+/// non-empty.
+ApplicationClass majority_vote(std::span<const ApplicationClass> classes);
+
+}  // namespace appclass::core

@@ -1,0 +1,26 @@
+#include "core/cost_model.hpp"
+
+namespace appclass::core {
+
+double CostModel::unit_cost(const ClassComposition& composition) const {
+  double total = 0.0;
+  for (std::size_t c = 0; c < kClassCount; ++c)
+    total += costs_.for_class(class_from_index(c)) *
+             composition.fractions()[c];
+  return total;
+}
+
+double CostModel::run_cost(const RunRecord& run) const {
+  return unit_cost(run.composition) *
+         static_cast<double>(run.elapsed_seconds);
+}
+
+double CostModel::expected_cost(const ApplicationProfile& profile) const {
+  double unit = 0.0;
+  for (std::size_t c = 0; c < kClassCount; ++c)
+    unit += costs_.for_class(class_from_index(c)) *
+            profile.mean_fractions[c];
+  return unit * profile.elapsed.mean();
+}
+
+}  // namespace appclass::core

@@ -1,0 +1,55 @@
+// Automated feature selection (the paper's section-7 future work).
+//
+// The paper selects its 8 input metrics manually, "based on expert
+// knowledge and the principle of increasing relevance and reducing
+// redundancy [Yu & Liu]", and plans to automate the step to enable online
+// classification. This module implements that automation:
+//
+//   * relevance  — a one-way ANOVA F-statistic of each metric against the
+//     class labels (between-class variance over within-class variance);
+//   * redundancy — absolute Pearson correlation between metrics;
+//   * selection  — greedy: walk metrics in decreasing relevance, keep one
+//     if its correlation with every already-kept metric stays below the
+//     redundancy threshold, until `target_count` metrics are kept.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "metrics/schema.hpp"
+
+namespace appclass::core {
+
+struct FeatureScore {
+  metrics::MetricId metric;
+  double relevance = 0.0;  ///< ANOVA F-statistic vs the class labels
+};
+
+struct FeatureSelectionOptions {
+  /// Stop once this many metrics are selected.
+  std::size_t target_count = 8;
+  /// Reject a candidate whose |correlation| with any kept metric exceeds
+  /// this (1.0 disables the redundancy filter).
+  double max_redundancy = 0.95;
+  /// Drop metrics whose relevance is below this (constant metrics score 0).
+  double min_relevance = 1e-6;
+};
+
+/// Relevance of every metric, sorted descending (constant metrics last).
+std::vector<FeatureScore> rank_features(const LabeledSnapshots& data);
+
+/// Absolute Pearson correlation between two metrics over the data.
+double feature_redundancy(const LabeledSnapshots& data, metrics::MetricId a,
+                          metrics::MetricId b);
+
+/// Greedy relevance/redundancy selection over all 33 monitored metrics.
+std::vector<metrics::MetricId> select_features(
+    const LabeledSnapshots& data, const FeatureSelectionOptions& options = {});
+
+/// Convenience: selects features from labelled pools.
+std::vector<metrics::MetricId> select_features(
+    const std::vector<LabeledPool>& pools,
+    const FeatureSelectionOptions& options = {});
+
+}  // namespace appclass::core

@@ -1,0 +1,65 @@
+#include "core/incremental.hpp"
+
+#include "common/assert.hpp"
+
+namespace appclass::core {
+
+IncrementalTrainer::IncrementalTrainer(PipelineOptions pipeline_options,
+                                       IncrementalOptions options)
+    : pipeline_options_(std::move(pipeline_options)),
+      options_(options),
+      rng_(options.seed) {
+  APPCLASS_EXPECTS(options.reservoir_per_class >= 1);
+}
+
+void IncrementalTrainer::add(const metrics::Snapshot& snapshot,
+                             ApplicationClass label) {
+  ++seen_;
+  const std::size_t c = index_of(label);
+  auto& reservoir = reservoirs_[c];
+  const std::size_t offered = offered_[c]++;
+  if (reservoir.size() < options_.reservoir_per_class) {
+    reservoir.push_back(snapshot);
+    return;
+  }
+  // Classic reservoir sampling: the (n+1)-th item replaces a uniformly
+  // random slot with probability R/(n+1).
+  const std::uint64_t slot = rng_.uniform_index(offered + 1);
+  if (slot < reservoir.size())
+    reservoir[static_cast<std::size_t>(slot)] = snapshot;
+}
+
+void IncrementalTrainer::add_pool(const metrics::DataPool& pool,
+                                  ApplicationClass label) {
+  for (const auto& s : pool.snapshots()) add(s, label);
+}
+
+std::size_t IncrementalTrainer::retained(ApplicationClass cls) const {
+  return reservoirs_[index_of(cls)].size();
+}
+
+bool IncrementalTrainer::ready() const {
+  int classes = 0;
+  std::size_t total = 0;
+  for (const auto& r : reservoirs_) {
+    classes += !r.empty();
+    total += r.size();
+  }
+  return classes >= 2 && total >= pipeline_options_.knn.k;
+}
+
+ClassificationPipeline IncrementalTrainer::train() const {
+  APPCLASS_EXPECTS(ready());
+  std::vector<LabeledPool> pools;
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    if (reservoirs_[c].empty()) continue;
+    metrics::DataPool pool;
+    for (const auto& s : reservoirs_[c]) pool.add(s);
+    pools.push_back(LabeledPool{std::move(pool), class_from_index(c)});
+  }
+  ClassificationPipeline pipeline(pipeline_options_);
+  pipeline.train(pools);
+  return pipeline;
+}
+
+}  // namespace appclass::core

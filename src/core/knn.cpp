@@ -1,0 +1,104 @@
+#include "core/knn.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace appclass::core {
+
+KnnClassifier::KnnClassifier(KnnOptions options) : options_(options) {
+  APPCLASS_EXPECTS(options_.k >= 1);
+  APPCLASS_EXPECTS(options_.k % 2 == 1);  // odd k, per the paper
+}
+
+void KnnClassifier::train(linalg::Matrix points,
+                          std::vector<ApplicationClass> labels) {
+  APPCLASS_EXPECTS(points.rows() == labels.size());
+  APPCLASS_EXPECTS(points.rows() >= options_.k);
+  points_ = std::move(points);
+  labels_ = std::move(labels);
+}
+
+std::size_t KnnClassifier::dimension() const {
+  APPCLASS_EXPECTS(trained());
+  return points_.cols();
+}
+
+double KnnClassifier::distance(std::span<const double> a,
+                               std::span<const double> b) const {
+  switch (options_.metric) {
+    case DistanceMetric::kManhattan:
+      return linalg::manhattan_distance(a, b);
+    case DistanceMetric::kEuclidean:
+    default:
+      return linalg::squared_distance(a, b);  // monotone in Euclidean
+  }
+}
+
+std::vector<std::size_t> KnnClassifier::nearest(
+    std::span<const double> point) const {
+  APPCLASS_EXPECTS(trained());
+  APPCLASS_EXPECTS(point.size() == points_.cols());
+  const std::size_t n = labels_.size();
+  const std::size_t k = std::min(options_.k, n);
+
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, std::size_t>> dist(n);
+  for (std::size_t i = 0; i < n; ++i)
+    dist[i] = {distance(points_.row(i), point), i};
+  std::partial_sort(dist.begin(),
+                    dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
+  std::vector<std::size_t> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = dist[i].second;
+  return out;
+}
+
+double KnnClassifier::nearest_distance(std::span<const double> point) const {
+  APPCLASS_EXPECTS(trained());
+  APPCLASS_EXPECTS(point.size() == points_.cols());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < labels_.size(); ++i)
+    best = std::min(best, linalg::squared_distance(points_.row(i), point));
+  return std::sqrt(best);
+}
+
+ApplicationClass KnnClassifier::classify(std::span<const double> point) const {
+  return classify_with_confidence(point).label;
+}
+
+KnnClassifier::Labeled KnnClassifier::classify_with_confidence(
+    std::span<const double> point) const {
+  const std::vector<std::size_t> nn = nearest(point);
+
+  // Majority vote; ties resolved by summed inverse rank (nearer wins).
+  std::array<int, kClassCount> votes{};
+  std::array<double, kClassCount> rank_weight{};
+  for (std::size_t r = 0; r < nn.size(); ++r) {
+    const std::size_t c = index_of(labels_[nn[r]]);
+    votes[c] += 1;
+    rank_weight[c] += 1.0 / static_cast<double>(r + 1);
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < kClassCount; ++c) {
+    if (votes[c] > votes[best] ||
+        (votes[c] == votes[best] && rank_weight[c] > rank_weight[best]))
+      best = c;
+  }
+  return Labeled{class_from_index(best),
+                 static_cast<double>(votes[best]) /
+                     static_cast<double>(nn.size())};
+}
+
+std::vector<ApplicationClass> KnnClassifier::classify(
+    const linalg::Matrix& points) const {
+  std::vector<ApplicationClass> out;
+  out.reserve(points.rows());
+  for (std::size_t r = 0; r < points.rows(); ++r)
+    out.push_back(classify(points.row(r)));
+  return out;
+}
+
+}  // namespace appclass::core

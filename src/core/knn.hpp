@@ -1,0 +1,76 @@
+// k-Nearest-Neighbor classifier (paper section 4.2.3).
+//
+// Brute-force k-NN with majority vote over the k geometrically closest
+// training points; ties break toward the class of the nearer neighbors
+// (summed inverse ranks), matching the "odd k" convention the paper uses
+// to avoid most ties in the first place (k = 3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/class_label.hpp"
+#include "linalg/matrix.hpp"
+
+namespace appclass::core {
+
+enum class DistanceMetric { kEuclidean, kManhattan };
+
+struct KnnOptions {
+  std::size_t k = 3;
+  DistanceMetric metric = DistanceMetric::kEuclidean;
+};
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(KnnOptions options = {});
+
+  /// Stores the training set: row i of `points` has label `labels[i]`.
+  void train(linalg::Matrix points, std::vector<ApplicationClass> labels);
+
+  bool trained() const noexcept { return !labels_.empty(); }
+  std::size_t training_size() const noexcept { return labels_.size(); }
+  std::size_t dimension() const;
+  std::size_t k() const noexcept { return options_.k; }
+  const KnnOptions& options() const noexcept { return options_; }
+
+  /// Classifies one query point.
+  ApplicationClass classify(std::span<const double> point) const;
+
+  /// A label together with the share of the k votes it received — a cheap
+  /// per-snapshot confidence (1.0 = unanimous neighbourhood).
+  struct Labeled {
+    ApplicationClass label = ApplicationClass::kIdle;
+    double confidence = 0.0;
+  };
+
+  /// Classifies one point and reports the winning vote share.
+  Labeled classify_with_confidence(std::span<const double> point) const;
+
+  /// Classifies every row of `points`.
+  std::vector<ApplicationClass> classify(const linalg::Matrix& points) const;
+
+  /// The k nearest training indices for a query, nearest first
+  /// (exposed for diagnostics and tests).
+  std::vector<std::size_t> nearest(std::span<const double> point) const;
+
+  /// Euclidean distance from a query to its single nearest training point
+  /// — the novelty score: large values mean the query resembles no
+  /// trained behaviour.
+  double nearest_distance(std::span<const double> point) const;
+
+  const linalg::Matrix& training_points() const noexcept { return points_; }
+  std::span<const ApplicationClass> training_labels() const noexcept {
+    return labels_;
+  }
+
+ private:
+  double distance(std::span<const double> a, std::span<const double> b) const;
+
+  KnnOptions options_;
+  linalg::Matrix points_;
+  std::vector<ApplicationClass> labels_;
+};
+
+}  // namespace appclass::core

@@ -1,0 +1,70 @@
+#include "core/online.hpp"
+
+#include "common/assert.hpp"
+
+namespace appclass::core {
+
+OnlineClassifier::OnlineClassifier(const ClassificationPipeline& pipeline,
+                                   OnlineOptions options)
+    : pipeline_(pipeline), options_(options) {
+  APPCLASS_EXPECTS(pipeline.trained());
+  APPCLASS_EXPECTS(options.sampling_interval_s >= 1);
+  APPCLASS_EXPECTS(options.window >= 1);
+  APPCLASS_EXPECTS(options.stability >= 1);
+}
+
+std::optional<ApplicationClass> OnlineClassifier::observe(
+    const metrics::Snapshot& snapshot) {
+  if (snapshot.time % options_.sampling_interval_s != 0) return std::nullopt;
+
+  const ApplicationClass label = pipeline_.classify(snapshot);
+  ++classified_;
+
+  NodeState& node = nodes_[snapshot.node_ip];
+  node.window.push_back(label);
+  if (node.window.size() > options_.window) node.window.pop_front();
+
+  // Debounced dominant-class tracking: the rolling majority must differ
+  // from the stable class for `stability` consecutive samples to fire.
+  const std::vector<ApplicationClass> window(node.window.begin(),
+                                             node.window.end());
+  const ApplicationClass dominant = majority_vote(window);
+  if (!node.stable_class) {
+    node.stable_class = dominant;
+  } else if (dominant != *node.stable_class) {
+    if (node.candidate_streak > 0 && node.candidate == dominant) {
+      ++node.candidate_streak;
+    } else {
+      node.candidate = dominant;
+      node.candidate_streak = 1;
+    }
+    if (node.candidate_streak >= options_.stability) {
+      const BehaviourChange change{snapshot.node_ip, snapshot.time,
+                                   *node.stable_class, dominant};
+      node.stable_class = dominant;
+      node.candidate_streak = 0;
+      if (callback_) callback_(change);
+    }
+  } else {
+    node.candidate_streak = 0;
+  }
+  return label;
+}
+
+std::optional<ClassComposition> OnlineClassifier::composition(
+    const std::string& node_ip) const {
+  const auto it = nodes_.find(node_ip);
+  if (it == nodes_.end() || it->second.window.empty()) return std::nullopt;
+  const std::vector<ApplicationClass> window(it->second.window.begin(),
+                                             it->second.window.end());
+  return ClassComposition(window);
+}
+
+std::optional<ApplicationClass> OnlineClassifier::current_class(
+    const std::string& node_ip) const {
+  const auto it = nodes_.find(node_ip);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second.stable_class;
+}
+
+}  // namespace appclass::core

@@ -1,0 +1,81 @@
+// Online (streaming) classification service.
+//
+// Wraps a trained pipeline behind a push interface suitable for wiring
+// directly to the monitoring bus: feed it every announced snapshot and it
+// maintains, per node, a rolling window of labels, the current rolling
+// composition, and a debounced "behaviour changed" event stream — the
+// online counterpart of the paper's offline post-processing, and the
+// mechanism a migration-capable scheduler would subscribe to.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace appclass::core {
+
+struct OnlineOptions {
+  /// Only snapshots with time % sampling_interval_s == 0 are classified
+  /// (mirrors the profiler's period d).
+  int sampling_interval_s = 5;
+  /// Rolling window length, in classified samples.
+  std::size_t window = 12;
+  /// A behaviour change is reported only after the new dominant class has
+  /// held for this many consecutive samples (debounce).
+  std::size_t stability = 3;
+};
+
+/// A reported behaviour change on one node.
+struct BehaviourChange {
+  std::string node_ip;
+  metrics::SimTime time = 0;
+  ApplicationClass from = ApplicationClass::kIdle;
+  ApplicationClass to = ApplicationClass::kIdle;
+};
+
+class OnlineClassifier {
+ public:
+  using ChangeCallback = std::function<void(const BehaviourChange&)>;
+
+  /// The pipeline must stay alive for the classifier's lifetime.
+  OnlineClassifier(const ClassificationPipeline& pipeline,
+                   OnlineOptions options = {});
+
+  /// Feeds one announced snapshot; classifies it if it falls on the
+  /// sampling grid. Returns the label assigned, if any.
+  std::optional<ApplicationClass> observe(const metrics::Snapshot& snapshot);
+
+  /// Called whenever a node's debounced dominant class changes.
+  void on_change(ChangeCallback callback) { callback_ = std::move(callback); }
+
+  /// Rolling composition of a node's current window (empty if unseen).
+  std::optional<ClassComposition> composition(
+      const std::string& node_ip) const;
+
+  /// Debounced dominant class of a node (nullopt if unseen).
+  std::optional<ApplicationClass> current_class(
+      const std::string& node_ip) const;
+
+  /// Total snapshots classified across all nodes.
+  std::size_t classified_count() const noexcept { return classified_; }
+
+ private:
+  struct NodeState {
+    std::deque<ApplicationClass> window;
+    std::optional<ApplicationClass> stable_class;
+    ApplicationClass candidate = ApplicationClass::kIdle;
+    std::size_t candidate_streak = 0;
+  };
+
+  const ClassificationPipeline& pipeline_;
+  OnlineOptions options_;
+  ChangeCallback callback_;
+  std::map<std::string, NodeState> nodes_;
+  std::size_t classified_ = 0;
+};
+
+}  // namespace appclass::core

@@ -1,0 +1,98 @@
+#include "core/pipeline.hpp"
+
+#include "common/assert.hpp"
+
+namespace appclass::core {
+
+ClassificationPipeline::ClassificationPipeline(PipelineOptions options)
+    : options_(options),
+      preprocessor_(options.selected_metrics.empty()
+                        ? Preprocessor{}
+                        : Preprocessor{options.selected_metrics}),
+      pca_(options.pca),
+      knn_(options.knn) {}
+
+void ClassificationPipeline::train(const std::vector<LabeledPool>& training) {
+  APPCLASS_EXPECTS(!training.empty());
+
+  // Stack the raw selected metrics of every training pool.
+  linalg::Matrix stacked;
+  std::vector<ApplicationClass> labels;
+  for (const auto& lp : training) {
+    APPCLASS_EXPECTS(!lp.pool.empty());
+    const linalg::Matrix raw = preprocessor_.extract(lp.pool);
+    for (std::size_t r = 0; r < raw.rows(); ++r) {
+      stacked.append_row(raw.row(r));
+      labels.push_back(lp.label);
+    }
+  }
+
+  preprocessor_.fit(stacked);
+  const linalg::Matrix normalized = preprocessor_.transform(stacked);
+  pca_.fit(normalized);
+  knn_.train(pca_.transform(normalized), std::move(labels));
+  trained_ = true;
+}
+
+ClassificationPipeline ClassificationPipeline::restore(
+    Preprocessor preprocessor, Pca pca, KnnClassifier knn) {
+  APPCLASS_EXPECTS(preprocessor.fitted());
+  APPCLASS_EXPECTS(pca.fitted());
+  APPCLASS_EXPECTS(knn.trained());
+  APPCLASS_EXPECTS(pca.input_dimension() == preprocessor.dimension());
+  APPCLASS_EXPECTS(knn.dimension() == pca.components());
+  ClassificationPipeline pipeline;
+  pipeline.preprocessor_ = std::move(preprocessor);
+  pipeline.pca_ = std::move(pca);
+  pipeline.knn_ = std::move(knn);
+  pipeline.trained_ = true;
+  return pipeline;
+}
+
+ClassificationResult ClassificationPipeline::classify(
+    const metrics::DataPool& pool) const {
+  APPCLASS_EXPECTS(trained_);
+  APPCLASS_EXPECTS(!pool.empty());
+  ClassificationResult result;
+  result.projected = pca_.transform(preprocessor_.transform(pool));
+  result.class_vector.reserve(result.projected.rows());
+  result.confidences.reserve(result.projected.rows());
+  double confidence_sum = 0.0;
+  std::size_t novel = 0;
+  for (std::size_t r = 0; r < result.projected.rows(); ++r) {
+    const auto labeled =
+        knn_.classify_with_confidence(result.projected.row(r));
+    result.class_vector.push_back(labeled.label);
+    result.confidences.push_back(labeled.confidence);
+    confidence_sum += labeled.confidence;
+    if (options_.novelty_threshold > 0.0) {
+      const double distance =
+          knn_.nearest_distance(result.projected.row(r));
+      result.novelty.push_back(distance);
+      if (distance > options_.novelty_threshold) ++novel;
+    }
+  }
+  result.mean_confidence =
+      confidence_sum / static_cast<double>(result.projected.rows());
+  if (options_.novelty_threshold > 0.0)
+    result.novel_fraction =
+        static_cast<double>(novel) /
+        static_cast<double>(result.projected.rows());
+  result.composition = ClassComposition(result.class_vector);
+  result.application_class = result.composition.dominant();
+  return result;
+}
+
+ApplicationClass ClassificationPipeline::classify(
+    const metrics::Snapshot& snapshot) const {
+  APPCLASS_EXPECTS(trained_);
+  return knn_.classify(pca_.transform(preprocessor_.transform(snapshot)));
+}
+
+linalg::Matrix ClassificationPipeline::project(
+    const metrics::DataPool& pool) const {
+  APPCLASS_EXPECTS(trained_);
+  return pca_.transform(preprocessor_.transform(pool));
+}
+
+}  // namespace appclass::core

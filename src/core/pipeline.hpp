@@ -1,0 +1,105 @@
+// The end-to-end classification pipeline (paper Figure 2):
+//
+//   A(n x m) --preprocess--> A'(p x m) --PCA--> B(q x m) --3-NN--> C(1 x m)
+//            --vote--> Class (+ class composition)
+//
+// Training fits the normalization and PCA on the labelled training pools
+// and stores the projected training points in the k-NN; classification
+// replays the fitted transforms on a test pool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/composition.hpp"
+#include "core/knn.hpp"
+#include "core/pca.hpp"
+#include "core/preprocess.hpp"
+#include "metrics/snapshot.hpp"
+
+namespace appclass::core {
+
+/// One labelled training source: every snapshot of `pool` is assumed to
+/// exhibit class `label` (the paper trains from dedicated runs of one
+/// canonical application per class).
+struct LabeledPool {
+  metrics::DataPool pool;
+  ApplicationClass label;
+};
+
+struct PipelineOptions {
+  /// Metric selection for the preprocessor; empty = Table-1 expert list.
+  std::vector<metrics::MetricId> selected_metrics;
+  /// PCA component selection. The paper sets the variance threshold so
+  /// that exactly two components are kept; forcing q = 2 reproduces that.
+  PcaOptions pca{.min_fraction_variance = 0.7, .forced_components = 2};
+  /// k-NN settings (paper: k = 3, Euclidean).
+  KnnOptions knn{};
+  /// Novelty threshold in PCA-space distance units: a snapshot farther
+  /// than this from EVERY training point is counted as novel (an
+  /// open-environment application unlike any trained behaviour). 0
+  /// disables novelty accounting. The trained clusters live within a few
+  /// units of each other (z-scored inputs), so ~2-4 is a useful range.
+  double novelty_threshold = 0.0;
+};
+
+/// Result of classifying one application run.
+struct ClassificationResult {
+  /// Per-snapshot classes — the paper's C(1 x m).
+  std::vector<ApplicationClass> class_vector;
+  /// Per-snapshot k-NN vote share of the winning class (in (0, 1]);
+  /// 1.0 means a unanimous neighbourhood.
+  std::vector<double> confidences;
+  /// Mean of `confidences` (0 for an empty pool).
+  double mean_confidence = 0.0;
+  /// Per-snapshot distance to the nearest training point (novelty score).
+  std::vector<double> novelty;
+  /// Fraction of snapshots beyond the novelty threshold (0 when disabled).
+  double novel_fraction = 0.0;
+  /// Snapshot shares per class.
+  ClassComposition composition;
+  /// Majority vote — the application's Class.
+  ApplicationClass application_class = ApplicationClass::kIdle;
+  /// Snapshots projected to PCA space (m x q), for cluster diagrams.
+  linalg::Matrix projected;
+};
+
+class ClassificationPipeline {
+ public:
+  explicit ClassificationPipeline(PipelineOptions options = {});
+
+  /// Fits preprocessing + PCA on the union of the training pools and
+  /// trains the k-NN on their projected snapshots.
+  void train(const std::vector<LabeledPool>& training);
+
+  bool trained() const noexcept { return trained_; }
+
+  /// Classifies a full run.
+  ClassificationResult classify(const metrics::DataPool& pool) const;
+
+  /// Classifies one snapshot (online mode).
+  ApplicationClass classify(const metrics::Snapshot& snapshot) const;
+
+  /// Projects a pool into PCA space without classifying (diagrams).
+  linalg::Matrix project(const metrics::DataPool& pool) const;
+
+  /// Rebuilds a trained pipeline from persisted components (serialization;
+  /// see core/serialize.hpp).
+  static ClassificationPipeline restore(Preprocessor preprocessor, Pca pca,
+                                        KnnClassifier knn);
+
+  /// Training points in PCA space with their labels (cluster diagrams,
+  /// Figure 3(a)).
+  const KnnClassifier& knn() const noexcept { return knn_; }
+  const Preprocessor& preprocessor() const noexcept { return preprocessor_; }
+  const Pca& pca() const noexcept { return pca_; }
+
+ private:
+  PipelineOptions options_;
+  Preprocessor preprocessor_;
+  Pca pca_;
+  KnnClassifier knn_;
+  bool trained_ = false;
+};
+
+}  // namespace appclass::core

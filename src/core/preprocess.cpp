@@ -1,0 +1,59 @@
+#include "core/preprocess.hpp"
+
+#include "common/assert.hpp"
+
+namespace appclass::core {
+
+Preprocessor::Preprocessor(std::vector<metrics::MetricId> selected)
+    : selected_(std::move(selected)) {
+  APPCLASS_EXPECTS(!selected_.empty());
+}
+
+linalg::Matrix Preprocessor::extract(const metrics::DataPool& pool) const {
+  return pool.to_observation_major(selected_);
+}
+
+void Preprocessor::fit(const linalg::Matrix& samples) {
+  APPCLASS_EXPECTS(samples.cols() == selected_.size());
+  APPCLASS_EXPECTS(samples.rows() >= 1);
+  stats_ = linalg::column_stats(samples);
+  fitted_ = true;
+}
+
+void Preprocessor::fit(const metrics::DataPool& pool) { fit(extract(pool)); }
+
+Preprocessor Preprocessor::restore(std::vector<metrics::MetricId> selected,
+                                   linalg::ColumnStats stats) {
+  APPCLASS_EXPECTS(selected.size() == stats.dims());
+  Preprocessor pre(std::move(selected));
+  pre.stats_ = std::move(stats);
+  pre.fitted_ = true;
+  return pre;
+}
+
+const linalg::ColumnStats& Preprocessor::stats() const {
+  APPCLASS_EXPECTS(fitted_);
+  return stats_;
+}
+
+linalg::Matrix Preprocessor::transform(const linalg::Matrix& samples) const {
+  APPCLASS_EXPECTS(fitted_);
+  APPCLASS_EXPECTS(samples.cols() == selected_.size());
+  return linalg::normalize(samples, stats_);
+}
+
+linalg::Matrix Preprocessor::transform(const metrics::DataPool& pool) const {
+  return transform(extract(pool));
+}
+
+std::vector<double> Preprocessor::transform(
+    const metrics::Snapshot& snapshot) const {
+  APPCLASS_EXPECTS(fitted_);
+  std::vector<double> row(selected_.size());
+  for (std::size_t i = 0; i < selected_.size(); ++i)
+    row[i] = snapshot.get(selected_[i]);
+  linalg::normalize_row(row, stats_);
+  return row;
+}
+
+}  // namespace appclass::core

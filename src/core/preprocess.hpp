@@ -1,0 +1,67 @@
+// Data preprocessing (paper section 4.2.1).
+//
+// Reduces the raw 33-metric pool A(n x m) to the expert-selected 8 metrics
+// of Table 1 and normalizes each to zero mean and unit variance. The
+// normalization is *fitted on training data* and replayed on test data, so
+// train and test live in the same feature space.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/stats.hpp"
+#include "metrics/schema.hpp"
+#include "metrics/snapshot.hpp"
+
+namespace appclass::core {
+
+class Preprocessor {
+ public:
+  /// Uses the paper's Table-1 expert metric list by default; pass a custom
+  /// selection for feature-set ablations (e.g. all 33 metrics).
+  explicit Preprocessor(std::vector<metrics::MetricId> selected = {
+                            metrics::kExpertMetrics.begin(),
+                            metrics::kExpertMetrics.end()});
+
+  /// Number of selected metrics (the paper's p).
+  std::size_t dimension() const noexcept { return selected_.size(); }
+  std::span<const metrics::MetricId> selected() const noexcept {
+    return selected_;
+  }
+
+  /// Extracts the selected metrics from a pool, one observation per row
+  /// (m x p), without normalizing.
+  linalg::Matrix extract(const metrics::DataPool& pool) const;
+
+  /// Fits the zero-mean/unit-variance normalization on `samples`
+  /// (observations in rows over the selected metrics).
+  void fit(const linalg::Matrix& samples);
+
+  /// Convenience: extract + fit on a pool.
+  void fit(const metrics::DataPool& pool);
+
+  bool fitted() const noexcept { return fitted_; }
+  const linalg::ColumnStats& stats() const;
+
+  /// Applies the fitted normalization to pre-extracted samples (m x p).
+  linalg::Matrix transform(const linalg::Matrix& samples) const;
+
+  /// Extract + normalize a pool: the paper's A'(p x m) step (returned
+  /// observation-major, m x p).
+  linalg::Matrix transform(const metrics::DataPool& pool) const;
+
+  /// Extract + normalize a single snapshot.
+  std::vector<double> transform(const metrics::Snapshot& snapshot) const;
+
+  /// Rebuilds a fitted preprocessor from persisted state (serialization).
+  static Preprocessor restore(std::vector<metrics::MetricId> selected,
+                              linalg::ColumnStats stats);
+
+ private:
+  std::vector<metrics::MetricId> selected_;
+  linalg::ColumnStats stats_;
+  bool fitted_ = false;
+};
+
+}  // namespace appclass::core

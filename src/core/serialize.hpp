@@ -1,0 +1,33 @@
+// Model persistence: serialize a trained ClassificationPipeline to a
+// versioned, line-oriented text format and restore it exactly.
+//
+// A production deployment trains once (or re-trains periodically) and
+// ships the fitted model to the monitoring nodes; the model is tiny — the
+// normalization statistics, the PCA basis, and the k-NN training points.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace appclass::core {
+
+/// Serializes a trained pipeline. Format (text, line oriented):
+///
+///   appclass-pipeline v1
+///   metrics <p> <name...>
+///   norm-mean <p doubles> / norm-stddev <p doubles>
+///   pca <p> <q>, pca-mean, pca-eigenvalues, pca-projection rows
+///   knn <n> <k> <metric>, then n lines "label <q coords>"
+std::string save_pipeline(const ClassificationPipeline& pipeline);
+
+/// Restores a pipeline saved by `save_pipeline`. Throws std::runtime_error
+/// on version mismatch or malformed input.
+ClassificationPipeline load_pipeline(const std::string& text);
+
+/// Convenience file I/O (throws std::runtime_error on I/O failure).
+void save_pipeline_file(const ClassificationPipeline& pipeline,
+                        const std::string& path);
+ClassificationPipeline load_pipeline_file(const std::string& path);
+
+}  // namespace appclass::core

@@ -1,0 +1,78 @@
+#include "core/trainer.hpp"
+
+#include "common/assert.hpp"
+#include "monitor/harness.hpp"
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+namespace appclass::core {
+
+namespace {
+
+/// Profiles one standalone run of `model` on a fresh copy of the testbed
+/// (training runs are dedicated: nothing else shares the VM).
+metrics::DataPool profile_training_run(
+    std::unique_ptr<sim::WorkloadModel> model, const TrainingSetup& setup,
+    std::uint64_t run_index) {
+  sim::TestbedOptions opts;
+  opts.seed = setup.seed + run_index;
+  opts.vm1_ram_mb = setup.vm_ram_mb;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  monitor::ClusterMonitor mon(*tb.engine);
+  const sim::InstanceId id = tb.engine->submit(tb.vm1, std::move(model));
+  const monitor::ProfiledRun run = monitor::profile_instance(
+      *tb.engine, mon, id, setup.sampling_interval_s);
+  APPCLASS_ENSURES(run.completed);
+  APPCLASS_ENSURES(!run.pool.empty());
+  return run.pool;
+}
+
+}  // namespace
+
+std::vector<LabeledPool> collect_training_pools(const TrainingSetup& setup) {
+  std::vector<LabeledPool> out;
+  out.reserve(kClassCount);
+
+  // Enum order: idle, io, cpu, network, memory.
+  out.push_back(LabeledPool{
+      profile_training_run(workloads::make_idle(setup.idle_duration_s),
+                           setup, 0),
+      ApplicationClass::kIdle});
+  out.push_back(LabeledPool{
+      profile_training_run(workloads::make_postmark(false), setup, 1),
+      ApplicationClass::kIo});
+  out.push_back(LabeledPool{
+      profile_training_run(
+          workloads::make_specseis(workloads::SeisDataSize::kSmall), setup,
+          2),
+      ApplicationClass::kCpu});
+  // Ettcp needs a remote endpoint: VM4 (index 1 in the two-VM testbed).
+  {
+    sim::TestbedOptions opts;
+    opts.seed = setup.seed + 3;
+    opts.vm1_ram_mb = setup.vm_ram_mb;
+    opts.four_vms = false;
+    sim::Testbed tb = sim::make_testbed(opts);
+    monitor::ClusterMonitor mon(*tb.engine);
+    const sim::InstanceId id = tb.engine->submit(
+        tb.vm1, workloads::make_ettcp(static_cast<int>(tb.vm4)));
+    const monitor::ProfiledRun run = monitor::profile_instance(
+        *tb.engine, mon, id, setup.sampling_interval_s);
+    APPCLASS_ENSURES(run.completed);
+    out.push_back(LabeledPool{run.pool, ApplicationClass::kNetwork});
+  }
+  out.push_back(LabeledPool{
+      profile_training_run(workloads::make_pagebench(), setup, 4),
+      ApplicationClass::kMemory});
+  return out;
+}
+
+ClassificationPipeline make_trained_pipeline(PipelineOptions options,
+                                             const TrainingSetup& setup) {
+  ClassificationPipeline pipeline(options);
+  pipeline.train(collect_training_pools(setup));
+  return pipeline;
+}
+
+}  // namespace appclass::core

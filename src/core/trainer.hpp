@@ -1,0 +1,39 @@
+// Training-set construction (paper section 4.2.3 / Table 2).
+//
+// The classifier is trained from dedicated runs of one canonical
+// application per class on the paper's testbed: SPECseis96 for CPU,
+// PostMark for I/O, Pagebench for paging, Ettcp for network, and an
+// otherwise-idle VM for idle. This module reproduces those five profiled
+// runs on the simulated testbed (VM1 on the 1.80 GHz host; a second VM on
+// the 2.40 GHz host serving as the network benchmark's peer) and returns
+// the labelled pools — or a fully trained pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace appclass::core {
+
+struct TrainingSetup {
+  /// Sampling period d in seconds (paper: 5).
+  int sampling_interval_s = 5;
+  /// Seed for the simulated training runs.
+  std::uint64_t seed = 7;
+  /// Length of the idle-class capture.
+  double idle_duration_s = 600.0;
+  /// VM memory for the training VM (the paper's VM1 has 256 MB).
+  double vm_ram_mb = 256.0;
+};
+
+/// Profiles the five training applications and returns one labelled pool
+/// per class, in enum order {idle, io, cpu, network, memory}.
+std::vector<LabeledPool> collect_training_pools(
+    const TrainingSetup& setup = {});
+
+/// Collects training pools and trains a pipeline on them.
+ClassificationPipeline make_trained_pipeline(PipelineOptions options = {},
+                                             const TrainingSetup& setup = {});
+
+}  // namespace appclass::core

@@ -1,0 +1,83 @@
+#include "linalg/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace appclass::linalg {
+
+double quantile(std::span<const double> values, double q) {
+  APPCLASS_EXPECTS(!values.empty());
+  APPCLASS_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(pos));
+  const auto upper = static_cast<std::size_t>(std::ceil(pos));
+  if (lower == upper) return sorted[lower];
+  const double frac = pos - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - frac) + sorted[upper] * frac;
+}
+
+double median(std::span<const double> values) {
+  return quantile(values, 0.5);
+}
+
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  APPCLASS_EXPECTS(bins >= 1);
+  APPCLASS_EXPECTS(hi > lo);
+}
+
+void Histogram::add(double x) noexcept {
+  const double clamped = std::clamp(x, lo_, std::nextafter(hi_, lo_));
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((clamped - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (const double x : values) add(x);
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  APPCLASS_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  APPCLASS_EXPECTS(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * static_cast<double>(bin),
+          lo_ + width * static_cast<double>(bin + 1)};
+}
+
+double Histogram::cumulative_fraction(std::size_t bin) const {
+  APPCLASS_EXPECTS(bin < counts_.size());
+  if (total_ == 0) return 0.0;
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b <= bin; ++b) acc += counts_[b];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string(std::size_t width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[96];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto [lo, hi] = bin_range(b);
+    const std::size_t bar = counts_[b] * width / peak;
+    std::snprintf(buf, sizeof buf, "[%10.2f, %10.2f) %6zu ", lo, hi,
+                  counts_[b]);
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace appclass::linalg

@@ -1,0 +1,50 @@
+// Quantiles and fixed-bin histograms over metric samples.
+//
+// Used by the application database's statistical abstracts and by the
+// benchmark harnesses when summarizing throughput distributions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace appclass::linalg {
+
+/// The q-quantile (q in [0, 1]) of `values` using linear interpolation
+/// between order statistics (type-7, the R/numpy default). Values need not
+/// be sorted; the input is copied. Non-empty input required.
+double quantile(std::span<const double> values, double q);
+
+/// Convenience percentiles.
+double median(std::span<const double> values);
+
+/// Fixed-width histogram over [lo, hi); samples outside clamp to the edge
+/// bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t count() const noexcept { return total_; }
+  std::size_t bin_count(std::size_t bin) const;
+  /// [lower, upper) edges of a bin.
+  std::pair<double, double> bin_range(std::size_t bin) const;
+  /// Fraction of samples at or below the upper edge of `bin`.
+  double cumulative_fraction(std::size_t bin) const;
+
+  /// Terminal rendering: one bar line per bin.
+  std::string to_string(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace appclass::linalg

@@ -1,0 +1,101 @@
+#include "metrics/schema.hpp"
+
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace appclass::metrics {
+
+namespace {
+
+constexpr std::array<MetricInfo, kMetricCount> kSchema = {{
+    {MetricId::kCpuUser, "cpu_user", "%", MetricKind::kGauge,
+     "Percent CPU time in user mode"},
+    {MetricId::kCpuSystem, "cpu_system", "%", MetricKind::kGauge,
+     "Percent CPU time in system mode"},
+    {MetricId::kCpuNice, "cpu_nice", "%", MetricKind::kGauge,
+     "Percent CPU time in nice'd user mode"},
+    {MetricId::kCpuIdle, "cpu_idle", "%", MetricKind::kGauge,
+     "Percent CPU time idle"},
+    {MetricId::kCpuWio, "cpu_wio", "%", MetricKind::kGauge,
+     "Percent CPU time waiting on I/O completion"},
+    {MetricId::kCpuAidle, "cpu_aidle", "%", MetricKind::kGauge,
+     "Percent CPU time idle since boot"},
+    {MetricId::kCpuNum, "cpu_num", "count", MetricKind::kConstant,
+     "Number of CPUs"},
+    {MetricId::kCpuSpeed, "cpu_speed", "MHz", MetricKind::kConstant,
+     "CPU clock speed"},
+    {MetricId::kLoadOne, "load_one", "", MetricKind::kGauge,
+     "One-minute load average"},
+    {MetricId::kLoadFive, "load_five", "", MetricKind::kGauge,
+     "Five-minute load average"},
+    {MetricId::kLoadFifteen, "load_fifteen", "", MetricKind::kGauge,
+     "Fifteen-minute load average"},
+    {MetricId::kProcRun, "proc_run", "count", MetricKind::kGauge,
+     "Number of running processes"},
+    {MetricId::kProcTotal, "proc_total", "count", MetricKind::kGauge,
+     "Total number of processes"},
+    {MetricId::kMemFree, "mem_free", "KB", MetricKind::kGauge,
+     "Amount of free memory"},
+    {MetricId::kMemShared, "mem_shared", "KB", MetricKind::kGauge,
+     "Amount of shared memory"},
+    {MetricId::kMemBuffers, "mem_buffers", "KB", MetricKind::kGauge,
+     "Amount of buffer-cache memory"},
+    {MetricId::kMemCached, "mem_cached", "KB", MetricKind::kGauge,
+     "Amount of page-cache memory"},
+    {MetricId::kMemTotal, "mem_total", "KB", MetricKind::kConstant,
+     "Total amount of memory"},
+    {MetricId::kSwapFree, "swap_free", "KB", MetricKind::kGauge,
+     "Amount of free swap space"},
+    {MetricId::kSwapTotal, "swap_total", "KB", MetricKind::kConstant,
+     "Total amount of swap space"},
+    {MetricId::kBytesIn, "bytes_in", "bytes/s", MetricKind::kRate,
+     "Number of bytes per second into the network"},
+    {MetricId::kBytesOut, "bytes_out", "bytes/s", MetricKind::kRate,
+     "Number of bytes per second out of the network"},
+    {MetricId::kPktsIn, "pkts_in", "packets/s", MetricKind::kRate,
+     "Packets per second received"},
+    {MetricId::kPktsOut, "pkts_out", "packets/s", MetricKind::kRate,
+     "Packets per second sent"},
+    {MetricId::kDiskTotal, "disk_total", "GB", MetricKind::kConstant,
+     "Total disk capacity"},
+    {MetricId::kDiskFree, "disk_free", "GB", MetricKind::kGauge,
+     "Free disk space"},
+    {MetricId::kPartMaxUsed, "part_max_used", "%", MetricKind::kGauge,
+     "Utilization of the most-utilized partition"},
+    {MetricId::kBoottime, "boottime", "s", MetricKind::kConstant,
+     "Machine boot timestamp"},
+    {MetricId::kMtu, "mtu", "bytes", MetricKind::kConstant,
+     "Network interface MTU"},
+    {MetricId::kIoBi, "io_bi", "blocks/s", MetricKind::kRate,
+     "Blocks per second received from a block device (vmstat bi)"},
+    {MetricId::kIoBo, "io_bo", "blocks/s", MetricKind::kRate,
+     "Blocks per second sent to a block device (vmstat bo)"},
+    {MetricId::kSwapIn, "swap_in", "KB/s", MetricKind::kRate,
+     "Memory swapped in from disk per second (vmstat si)"},
+    {MetricId::kSwapOut, "swap_out", "KB/s", MetricKind::kRate,
+     "Memory swapped out to disk per second (vmstat so)"},
+}};
+
+}  // namespace
+
+std::span<const MetricInfo, kMetricCount> schema() noexcept { return kSchema; }
+
+const MetricInfo& info(MetricId id) noexcept {
+  const std::size_t i = index_of(id);
+  APPCLASS_ASSERT(i < kMetricCount);
+  return kSchema[i];
+}
+
+std::optional<MetricId> find_metric(std::string_view name) noexcept {
+  static const auto* lookup = [] {
+    auto* m = new std::unordered_map<std::string_view, MetricId>();
+    for (const auto& mi : kSchema) m->emplace(mi.name, mi.id);
+    return m;
+  }();
+  const auto it = lookup->find(name);
+  if (it == lookup->end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace appclass::metrics

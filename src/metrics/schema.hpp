@@ -1,0 +1,109 @@
+// The monitored metric schema.
+//
+// The paper's profiler collects "all the default 29 metrics monitored by
+// Ganglia" plus 4 metrics added for classification (vmstat's IO blocks
+// in/out and swap in/out), for a total of n = 33 performance metrics per
+// snapshot. This module pins that schema down: metric identifiers, units,
+// and the expert-selected 8-metric subset of Table 1.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace appclass::metrics {
+
+/// All 33 monitored metrics: Ganglia 2.5's 29 default metrics followed by
+/// the four vmstat-derived metrics the paper adds to gmond's metric list.
+enum class MetricId : std::size_t {
+  // --- CPU (Ganglia defaults) ---
+  kCpuUser = 0,    ///< % CPU in user mode
+  kCpuSystem,      ///< % CPU in system mode
+  kCpuNice,        ///< % CPU in nice'd user mode
+  kCpuIdle,        ///< % CPU idle
+  kCpuWio,         ///< % CPU waiting on I/O
+  kCpuAidle,       ///< % CPU idle since boot
+  kCpuNum,         ///< number of CPUs
+  kCpuSpeed,       ///< CPU clock, MHz
+  // --- load / processes ---
+  kLoadOne,        ///< 1-minute load average
+  kLoadFive,       ///< 5-minute load average
+  kLoadFifteen,    ///< 15-minute load average
+  kProcRun,        ///< running processes
+  kProcTotal,      ///< total processes
+  // --- memory ---
+  kMemFree,        ///< free memory, KB
+  kMemShared,      ///< shared memory, KB
+  kMemBuffers,     ///< buffer-cache memory, KB
+  kMemCached,      ///< page-cache memory, KB
+  kMemTotal,       ///< total memory, KB
+  kSwapFree,       ///< free swap, KB
+  kSwapTotal,      ///< total swap, KB
+  // --- network ---
+  kBytesIn,        ///< bytes/s into the network interface
+  kBytesOut,       ///< bytes/s out of the network interface
+  kPktsIn,         ///< packets/s in
+  kPktsOut,        ///< packets/s out
+  // --- disk / misc ---
+  kDiskTotal,      ///< total disk, GB
+  kDiskFree,       ///< free disk, GB
+  kPartMaxUsed,    ///< most-utilized partition, %
+  kBoottime,       ///< boot timestamp, s
+  kMtu,            ///< network interface MTU
+  // --- the 4 metrics the paper adds via vmstat ---
+  kIoBi,           ///< blocks/s received from block devices (vmstat bi)
+  kIoBo,           ///< blocks/s sent to block devices (vmstat bo)
+  kSwapIn,         ///< KB/s of memory swapped in from disk (vmstat si)
+  kSwapOut,        ///< KB/s of memory swapped out to disk (vmstat so)
+};
+
+/// Total number of monitored metrics (the paper's n = 33).
+inline constexpr std::size_t kMetricCount = 33;
+
+/// Number of Ganglia default metrics (29) preceding the vmstat additions.
+inline constexpr std::size_t kGangliaDefaultCount = 29;
+
+/// How a metric behaves over time; drives how the simulator's gmond
+/// publishes it and how traces may be resampled.
+enum class MetricKind {
+  kGauge,     ///< instantaneous level (e.g. mem_free, load_one)
+  kRate,      ///< per-second rate averaged over the sampling interval
+  kConstant,  ///< static machine property (cpu_num, mem_total, ...)
+};
+
+/// Static description of one metric in the schema.
+struct MetricInfo {
+  MetricId id;
+  std::string_view name;  ///< Ganglia-style metric name, e.g. "cpu_user"
+  std::string_view unit;
+  MetricKind kind;
+  std::string_view description;
+};
+
+/// The full ordered schema (index i describes metric with MetricId i).
+std::span<const MetricInfo, kMetricCount> schema() noexcept;
+
+/// Info for a single metric.
+const MetricInfo& info(MetricId id) noexcept;
+
+/// Name -> id lookup; returns nullopt for unknown names.
+std::optional<MetricId> find_metric(std::string_view name) noexcept;
+
+constexpr std::size_t index_of(MetricId id) noexcept {
+  return static_cast<std::size_t>(id);
+}
+
+/// The paper's Table 1: the 8 expert-selected metrics, one correlated pair
+/// per application class (CPU, network, IO, memory/paging).
+inline constexpr std::array<MetricId, 8> kExpertMetrics = {
+    MetricId::kCpuSystem, MetricId::kCpuUser,  MetricId::kBytesIn,
+    MetricId::kBytesOut,  MetricId::kIoBi,     MetricId::kIoBo,
+    MetricId::kSwapIn,    MetricId::kSwapOut,
+};
+
+/// The paper's p = 8 (selected metrics after expert preprocessing).
+inline constexpr std::size_t kExpertMetricCount = kExpertMetrics.size();
+
+}  // namespace appclass::metrics

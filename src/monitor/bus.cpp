@@ -1,0 +1,51 @@
+#include "monitor/bus.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace appclass::monitor {
+
+SubscriptionId MetricBus::subscribe(Listener listener) {
+  APPCLASS_EXPECTS(listener != nullptr);
+  const std::lock_guard lock(mutex_);
+  const SubscriptionId id = next_id_++;
+  listeners_.push_back(Entry{id, std::move(listener)});
+  return id;
+}
+
+void MetricBus::unsubscribe(SubscriptionId id) {
+  const std::lock_guard lock(mutex_);
+  std::erase_if(listeners_, [id](const Entry& e) { return e.id == id; });
+}
+
+void MetricBus::announce(const metrics::Snapshot& snapshot) {
+  // Copy the listener list under the lock, invoke outside it, so a listener
+  // may (un)subscribe re-entrantly without deadlocking.
+  std::vector<Listener> current;
+  {
+    const std::lock_guard lock(mutex_);
+    current.reserve(listeners_.size());
+    for (const auto& e : listeners_) current.push_back(e.listener);
+  }
+  for (const auto& l : current) l(snapshot);
+}
+
+std::size_t MetricBus::listener_count() const {
+  const std::lock_guard lock(mutex_);
+  return listeners_.size();
+}
+
+Gmond::Gmond(std::string node_ip, MetricBus& bus, int announce_interval_s)
+    : node_ip_(std::move(node_ip)),
+      bus_(bus),
+      announce_interval_s_(announce_interval_s) {
+  APPCLASS_EXPECTS(announce_interval_s_ >= 1);
+}
+
+void Gmond::observe(const metrics::Snapshot& snapshot) {
+  APPCLASS_EXPECTS(snapshot.node_ip == node_ip_);
+  if (ticks_seen_++ % announce_interval_s_ == 0) bus_.announce(snapshot);
+}
+
+}  // namespace appclass::monitor

@@ -1,0 +1,71 @@
+// The monitoring substrate: a Ganglia-style listen/announce metric bus.
+//
+// Real Ganglia gmond daemons multicast their host's metrics on the subnet;
+// every listener receives every node's announcements and filters what it
+// needs. This module reproduces that data path in-process: `Gmond`
+// publishers (one per VM) announce snapshots onto a `MetricBus`, and any
+// number of subscribers (the performance profiler, online classifiers,
+// dashboards) receive the full subnet stream.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/snapshot.hpp"
+
+namespace appclass::monitor {
+
+/// Subscription handle returned by MetricBus::subscribe.
+using SubscriptionId = std::size_t;
+
+/// An in-process stand-in for the Ganglia multicast channel. Thread-safe:
+/// announcements and (un)subscriptions may come from different threads.
+class MetricBus {
+ public:
+  using Listener = std::function<void(const metrics::Snapshot&)>;
+
+  /// Registers a listener; it will see every announcement from every node.
+  SubscriptionId subscribe(Listener listener);
+
+  /// Removes a listener. Unknown ids are ignored (idempotent).
+  void unsubscribe(SubscriptionId id);
+
+  /// Publishes one node snapshot to all current listeners.
+  void announce(const metrics::Snapshot& snapshot);
+
+  std::size_t listener_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  struct Entry {
+    SubscriptionId id;
+    Listener listener;
+  };
+  std::vector<Entry> listeners_;
+  SubscriptionId next_id_ = 1;
+};
+
+/// Per-node metric daemon. In this reproduction the simulator produces a
+/// complete snapshot per VM per tick; gmond decides how often to announce
+/// it on the bus (Ganglia's default announce interval for volatile metrics
+/// is a few seconds; 1 s here keeps the profiler free to subsample).
+class Gmond {
+ public:
+  Gmond(std::string node_ip, MetricBus& bus, int announce_interval_s = 1);
+
+  /// Feeds the simulator's per-tick snapshot; announces on the bus every
+  /// `announce_interval_s` ticks.
+  void observe(const metrics::Snapshot& snapshot);
+
+  const std::string& node_ip() const noexcept { return node_ip_; }
+
+ private:
+  std::string node_ip_;
+  MetricBus& bus_;
+  int announce_interval_s_;
+  std::int64_t ticks_seen_ = 0;
+};
+
+}  // namespace appclass::monitor

@@ -1,0 +1,50 @@
+#include "monitor/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace appclass::monitor {
+
+FaultyChannel::FaultyChannel(MetricBus& source, MetricBus& target,
+                             FaultOptions options, std::uint64_t seed)
+    : source_(source), target_(target), options_(options), rng_(seed) {
+  APPCLASS_EXPECTS(options.drop_probability >= 0.0 &&
+                   options.drop_probability <= 1.0);
+  APPCLASS_EXPECTS(options.blackout_probability >= 0.0 &&
+                   options.blackout_probability <= 1.0);
+  subscription_ = source_.subscribe(
+      [this](const metrics::Snapshot& s) { relay(s); });
+}
+
+FaultyChannel::~FaultyChannel() { source_.unsubscribe(subscription_); }
+
+void FaultyChannel::relay(const metrics::Snapshot& snapshot) {
+  // Node blackout?
+  const auto it = std::find_if(
+      blackouts_.begin(), blackouts_.end(),
+      [&](const auto& b) { return b.first == snapshot.node_ip; });
+  if (it != blackouts_.end()) {
+    if (snapshot.time < it->second) {
+      ++dropped_;
+      return;
+    }
+    blackouts_.erase(it);
+  }
+  if (options_.blackout_probability > 0.0 &&
+      rng_.bernoulli(options_.blackout_probability)) {
+    blackouts_.emplace_back(snapshot.node_ip,
+                            snapshot.time + options_.blackout_s);
+    ++dropped_;
+    return;
+  }
+  if (options_.drop_probability > 0.0 &&
+      rng_.bernoulli(options_.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  ++delivered_;
+  target_.announce(snapshot);
+}
+
+}  // namespace appclass::monitor

@@ -1,0 +1,54 @@
+// Monitoring-path fault injection.
+//
+// Ganglia announcements travel over UDP multicast: messages get dropped,
+// whole nodes go quiet, and listeners must cope. `FaultyChannel` relays a
+// source bus onto a target bus while injecting those failure modes
+// deterministically (seeded), so robustness of the downstream consumers —
+// the profiler, the online classifier — can be tested and quantified.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/random.hpp"
+#include "monitor/bus.hpp"
+
+namespace appclass::monitor {
+
+struct FaultOptions {
+  /// Probability each announcement is silently dropped (UDP loss).
+  double drop_probability = 0.0;
+  /// Probability per announcement that its node enters a blackout
+  /// (gmond crash / partition) for `blackout_s` seconds.
+  double blackout_probability = 0.0;
+  metrics::SimTime blackout_s = 30;
+};
+
+class FaultyChannel {
+ public:
+  /// Relays `source` onto `target`. Both must outlive the channel.
+  FaultyChannel(MetricBus& source, MetricBus& target, FaultOptions options,
+                std::uint64_t seed = 1);
+  ~FaultyChannel();
+
+  FaultyChannel(const FaultyChannel&) = delete;
+  FaultyChannel& operator=(const FaultyChannel&) = delete;
+
+  std::size_t delivered() const noexcept { return delivered_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+
+ private:
+  void relay(const metrics::Snapshot& snapshot);
+
+  MetricBus& source_;
+  MetricBus& target_;
+  FaultOptions options_;
+  linalg::Rng rng_;
+  SubscriptionId subscription_;
+  std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
+  /// Per-node blackout end time.
+  std::vector<std::pair<std::string, metrics::SimTime>> blackouts_;
+};
+
+}  // namespace appclass::monitor

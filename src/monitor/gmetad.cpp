@@ -1,0 +1,92 @@
+#include "monitor/gmetad.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace appclass::monitor {
+
+Gmetad::Gmetad(MetricBus& bus, metrics::SimTime liveness_timeout_s)
+    : bus_(bus), liveness_timeout_s_(liveness_timeout_s) {
+  APPCLASS_EXPECTS(liveness_timeout_s >= 1);
+  subscription_ = bus_.subscribe(
+      [this](const metrics::Snapshot& s) { on_announce(s); });
+}
+
+Gmetad::~Gmetad() { bus_.unsubscribe(subscription_); }
+
+void Gmetad::on_announce(const metrics::Snapshot& snapshot) {
+  newest_time_ = std::max(newest_time_, snapshot.time);
+  latest_[snapshot.node_ip] = snapshot;
+}
+
+bool Gmetad::alive(const metrics::Snapshot& snapshot) const {
+  return newest_time_ - snapshot.time <= liveness_timeout_s_;
+}
+
+std::size_t Gmetad::node_count() const { return latest_.size(); }
+
+std::vector<std::string> Gmetad::live_nodes() const {
+  std::vector<std::string> out;
+  for (const auto& [ip, snapshot] : latest_)
+    if (alive(snapshot)) out.push_back(ip);
+  return out;
+}
+
+std::optional<metrics::Snapshot> Gmetad::latest(
+    const std::string& node_ip) const {
+  const auto it = latest_.find(node_ip);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<MetricSummary> Gmetad::summary(metrics::MetricId id) const {
+  MetricSummary out;
+  bool first = true;
+  for (const auto& [ip, snapshot] : latest_) {
+    if (!alive(snapshot)) continue;
+    const double v = snapshot.get(id);
+    out.sum += v;
+    if (first) {
+      out.min = out.max = v;
+      first = false;
+    } else {
+      out.min = std::min(out.min, v);
+      out.max = std::max(out.max, v);
+    }
+    ++out.nodes;
+  }
+  if (out.nodes == 0) return std::nullopt;
+  out.mean = out.sum / static_cast<double>(out.nodes);
+  return out;
+}
+
+std::optional<std::string> Gmetad::argmax(metrics::MetricId id) const {
+  std::optional<std::string> best;
+  double best_value = 0.0;
+  for (const auto& [ip, snapshot] : latest_) {
+    if (!alive(snapshot)) continue;
+    const double v = snapshot.get(id);
+    if (!best || v > best_value) {
+      best = ip;
+      best_value = v;
+    }
+  }
+  return best;
+}
+
+std::optional<std::string> Gmetad::argmin(metrics::MetricId id) const {
+  std::optional<std::string> best;
+  double best_value = 0.0;
+  for (const auto& [ip, snapshot] : latest_) {
+    if (!alive(snapshot)) continue;
+    const double v = snapshot.get(id);
+    if (!best || v < best_value) {
+      best = ip;
+      best_value = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace appclass::monitor

@@ -1,0 +1,45 @@
+#include "monitor/harness.hpp"
+
+#include "common/assert.hpp"
+
+namespace appclass::monitor {
+
+ClusterMonitor::ClusterMonitor(sim::Engine& engine) {
+  gmonds_.reserve(engine.vm_count());
+  for (sim::VmId v = 0; v < engine.vm_count(); ++v)
+    gmonds_.push_back(
+        std::make_unique<Gmond>(engine.vm(v).spec().ip, bus_));
+  engine.set_snapshot_sink(
+      [this](sim::VmId vm, const metrics::Snapshot& snapshot) {
+        APPCLASS_ASSERT(vm < gmonds_.size());
+        gmonds_[vm]->observe(snapshot);
+      });
+}
+
+ProfiledRun profile_instance(sim::Engine& engine, ClusterMonitor& mon,
+                             sim::InstanceId instance,
+                             int sampling_interval_s,
+                             sim::SimTime max_ticks) {
+  const sim::InstanceInfo before = engine.instance(instance);
+  const std::string target_ip = engine.vm(before.vm).spec().ip;
+
+  PerformanceProfiler profiler(mon.bus(), sampling_interval_s);
+  profiler.start();
+
+  const sim::SimTime deadline = engine.now() + max_ticks;
+  while (engine.instance(instance).state != sim::InstanceState::kFinished &&
+         engine.now() < deadline)
+    engine.step();
+
+  profiler.stop();
+
+  ProfiledRun run;
+  run.pool = PerformanceFilter::extract(profiler.raw_samples(), target_ip);
+  const sim::InstanceInfo after = engine.instance(instance);
+  run.completed = after.state == sim::InstanceState::kFinished;
+  run.start_time = after.start_time;
+  run.end_time = run.completed ? after.finish_time : engine.now();
+  return run;
+}
+
+}  // namespace appclass::monitor

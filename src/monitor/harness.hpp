@@ -1,0 +1,52 @@
+// Convenience wiring between the cluster simulator and the monitoring
+// substrate: one Gmond per VM feeding a shared bus, plus a helper that
+// profiles a single application run end to end (the common path of the
+// trainer, the benchmarks, and the examples).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "metrics/snapshot.hpp"
+#include "monitor/bus.hpp"
+#include "monitor/profiler.hpp"
+#include "sim/engine.hpp"
+
+namespace appclass::monitor {
+
+/// Attaches Ganglia-style monitoring to an engine: creates a Gmond for
+/// every VM currently registered and installs a snapshot sink that routes
+/// each VM's per-tick snapshot through its gmond onto the internal bus.
+///
+/// Must outlive the engine's use of the sink; add all VMs before
+/// constructing it.
+class ClusterMonitor {
+ public:
+  explicit ClusterMonitor(sim::Engine& engine);
+
+  MetricBus& bus() noexcept { return bus_; }
+
+ private:
+  MetricBus bus_;
+  std::vector<std::unique_ptr<Gmond>> gmonds_;
+};
+
+/// Result of profiling one application run.
+struct ProfiledRun {
+  metrics::DataPool pool;       ///< target VM's snapshots, one per d seconds
+  sim::SimTime start_time = 0;  ///< t0
+  sim::SimTime end_time = 0;    ///< t1
+  bool completed = false;       ///< instance finished before the tick budget
+
+  sim::SimTime elapsed() const { return end_time - start_time; }
+};
+
+/// Runs the engine until `instance` finishes (or `max_ticks` pass),
+/// sampling the monitored subnet every `sampling_interval_s` seconds and
+/// returning the data pool of the VM hosting the instance.
+ProfiledRun profile_instance(sim::Engine& engine, ClusterMonitor& mon,
+                             sim::InstanceId instance,
+                             int sampling_interval_s = 5,
+                             sim::SimTime max_ticks = 200'000);
+
+}  // namespace appclass::monitor

@@ -1,0 +1,61 @@
+#include "monitor/profiler.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace appclass::monitor {
+
+PerformanceProfiler::PerformanceProfiler(MetricBus& bus,
+                                         int sampling_interval_s)
+    : bus_(bus), sampling_interval_s_(sampling_interval_s) {
+  APPCLASS_EXPECTS(sampling_interval_s >= 1);
+}
+
+PerformanceProfiler::~PerformanceProfiler() { stop(); }
+
+void PerformanceProfiler::start() {
+  if (running_) return;
+  running_ = true;
+  first_time_.reset();
+  subscription_ = bus_.subscribe(
+      [this](const metrics::Snapshot& s) { on_announce(s); });
+}
+
+void PerformanceProfiler::stop() {
+  if (!running_) return;
+  bus_.unsubscribe(subscription_);
+  running_ = false;
+}
+
+void PerformanceProfiler::clear() {
+  raw_samples_.clear();
+  first_time_.reset();
+}
+
+void PerformanceProfiler::on_announce(const metrics::Snapshot& snapshot) {
+  if (!first_time_) first_time_ = snapshot.time;
+  const auto elapsed = snapshot.time - *first_time_;
+  if (elapsed % sampling_interval_s_ != 0) return;
+  raw_samples_.push_back(snapshot);
+}
+
+metrics::DataPool PerformanceFilter::extract(
+    const std::vector<metrics::Snapshot>& raw_samples,
+    const std::string& target_ip) {
+  metrics::DataPool pool(target_ip);
+  for (const auto& s : raw_samples)
+    if (s.node_ip == target_ip) pool.add(s);
+  return pool;
+}
+
+std::vector<std::string> PerformanceFilter::nodes(
+    const std::vector<metrics::Snapshot>& raw_samples) {
+  std::vector<std::string> out;
+  for (const auto& s : raw_samples)
+    if (std::find(out.begin(), out.end(), s.node_ip) == out.end())
+      out.push_back(s.node_ip);
+  return out;
+}
+
+}  // namespace appclass::monitor

@@ -1,0 +1,73 @@
+// The performance profiler and filter (paper Figure 1, section 4.1).
+//
+// The profiler subscribes to the subnet-wide metric bus and, between a
+// start and stop instruction from the resource manager, samples the stream
+// once every `d` seconds (the paper uses d = 5). Because the bus carries
+// every node's announcements, the raw capture holds all subnet nodes; the
+// `PerformanceFilter` then extracts the target application node's snapshots
+// into the per-run `DataPool` handed to the classification center.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/snapshot.hpp"
+#include "monitor/bus.hpp"
+
+namespace appclass::monitor {
+
+/// Captures the subnet's metric stream at a fixed sampling period.
+class PerformanceProfiler {
+ public:
+  /// `sampling_interval_s` is the paper's d (default 5 seconds).
+  explicit PerformanceProfiler(MetricBus& bus, int sampling_interval_s = 5);
+  ~PerformanceProfiler();
+
+  PerformanceProfiler(const PerformanceProfiler&) = delete;
+  PerformanceProfiler& operator=(const PerformanceProfiler&) = delete;
+
+  /// Begins capturing (idempotent). Announcements whose timestamp t
+  /// satisfies (t - first_seen) % d == 0 are retained, for every node.
+  void start();
+
+  /// Stops capturing. The collected raw pool remains available.
+  void stop();
+
+  bool running() const noexcept { return running_; }
+  int sampling_interval() const noexcept { return sampling_interval_s_; }
+
+  /// Every retained sample from every node, in arrival order.
+  const std::vector<metrics::Snapshot>& raw_samples() const noexcept {
+    return raw_samples_;
+  }
+
+  /// Discards captured samples (for reuse across runs).
+  void clear();
+
+ private:
+  void on_announce(const metrics::Snapshot& snapshot);
+
+  MetricBus& bus_;
+  int sampling_interval_s_;
+  SubscriptionId subscription_ = 0;
+  bool running_ = false;
+  std::optional<metrics::SimTime> first_time_;
+  std::vector<metrics::Snapshot> raw_samples_;
+};
+
+/// Extracts one node's snapshots from a raw subnet capture.
+class PerformanceFilter {
+ public:
+  /// Returns the data pool of `target_ip` — the paper's A(n x m) source.
+  static metrics::DataPool extract(
+      const std::vector<metrics::Snapshot>& raw_samples,
+      const std::string& target_ip);
+
+  /// Lists the node IPs present in a raw capture.
+  static std::vector<std::string> nodes(
+      const std::vector<metrics::Snapshot>& raw_samples);
+};
+
+}  // namespace appclass::monitor

@@ -1,0 +1,35 @@
+// Wire format for metric announcements.
+//
+// Real gmond marshals metrics with XDR onto UDP multicast. This module
+// provides the equivalent binary framing for snapshots so announcements
+// can cross process or machine boundaries: a fixed magic + version header,
+// the node identity, the timestamp, and the 33 metric values as
+// big-endian IEEE-754 doubles, closed by a checksum. Decoding validates
+// every field and rejects corrupt or truncated packets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/snapshot.hpp"
+
+namespace appclass::monitor {
+
+/// Maximum node-IP length accepted on the wire.
+inline constexpr std::size_t kMaxNodeIpLength = 64;
+
+/// Encodes a snapshot into a self-contained packet.
+std::vector<std::uint8_t> encode_packet(const metrics::Snapshot& snapshot);
+
+/// Decodes a packet; returns nullopt for anything malformed: wrong magic
+/// or version, truncated buffer, oversized node id, trailing bytes, or a
+/// checksum mismatch.
+std::optional<metrics::Snapshot> decode_packet(
+    std::span<const std::uint8_t> packet);
+
+/// Exact encoded size of a snapshot with the given node-IP length.
+std::size_t packet_size(std::size_t node_ip_length);
+
+}  // namespace appclass::monitor

@@ -1,0 +1,71 @@
+#include "sched/advisor.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace appclass::sched {
+
+PlacementAdvisor::PlacementAdvisor(const monitor::Gmetad& gmetad,
+                                   HeadroomNominals nominals)
+    : gmetad_(gmetad), nominals_(nominals) {
+  APPCLASS_EXPECTS(nominals_.vdisk_blocks_per_s > 0.0);
+  APPCLASS_EXPECTS(nominals_.vnic_bytes_per_s > 0.0);
+}
+
+double PlacementAdvisor::headroom(core::ApplicationClass cls,
+                                  const metrics::Snapshot& s) const {
+  using metrics::MetricId;
+  const auto clamp01 = [](double x) { return std::clamp(x, 0.0, 1.0); };
+  switch (cls) {
+    case core::ApplicationClass::kCpu:
+      return clamp01(s.get(MetricId::kCpuIdle) / 100.0);
+    case core::ApplicationClass::kIo: {
+      const double used =
+          (s.get(MetricId::kIoBi) + s.get(MetricId::kIoBo)) /
+          nominals_.vdisk_blocks_per_s;
+      return clamp01(1.0 - used);
+    }
+    case core::ApplicationClass::kNetwork: {
+      const double used =
+          (s.get(MetricId::kBytesIn) + s.get(MetricId::kBytesOut)) /
+          nominals_.vnic_bytes_per_s;
+      return clamp01(1.0 - used);
+    }
+    case core::ApplicationClass::kMemory: {
+      const double total = std::max(s.get(MetricId::kMemTotal), 1.0);
+      // Page cache is reclaimable: it counts as available memory.
+      const double available =
+          s.get(MetricId::kMemFree) + s.get(MetricId::kMemCached);
+      return clamp01(available / total);
+    }
+    case core::ApplicationClass::kIdle:
+      return 1.0;  // an idle job is happy anywhere
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<std::string, double>> PlacementAdvisor::ranking(
+    core::ApplicationClass cls,
+    std::span<const std::string> candidates) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& ip : candidates) {
+    const auto snapshot = gmetad_.latest(ip);
+    if (!snapshot) continue;
+    out.emplace_back(ip, headroom(cls, *snapshot));
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+std::optional<std::string> PlacementAdvisor::recommend(
+    core::ApplicationClass cls,
+    std::span<const std::string> candidates) const {
+  const auto ranked = ranking(cls, candidates);
+  if (ranked.empty()) return std::nullopt;
+  return ranked.front().first;
+}
+
+}  // namespace appclass::sched

@@ -1,0 +1,143 @@
+#include "sched/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "sim/testbed.hpp"
+
+namespace appclass::sched {
+
+std::vector<JobType> paper_job_types() {
+  std::vector<JobType> types(3);
+  types[0] = JobType{
+      'S', "specseis_small", core::ApplicationClass::kCpu,
+      [](int) { return workloads::make_specseis(workloads::SeisDataSize::kSmall); }};
+  types[1] = JobType{
+      'P', "postmark", core::ApplicationClass::kIo,
+      [](int) { return workloads::make_postmark(false); }};
+  types[2] = JobType{
+      'N', "netpipe", core::ApplicationClass::kNetwork,
+      [](int peer) { return workloads::make_netpipe(peer); }};
+  return types;
+}
+
+double ScheduleOutcome::system_throughput_jobs_per_day() const {
+  double total = 0.0;
+  for (const auto& j : jobs) {
+    APPCLASS_EXPECTS(j.elapsed_seconds > 0);
+    total += 86400.0 / static_cast<double>(j.elapsed_seconds);
+  }
+  return total;
+}
+
+double ScheduleOutcome::app_throughput_jobs_per_day(char code) const {
+  double total = 0.0;
+  for (const auto& j : jobs)
+    if (j.code == code)
+      total += 86400.0 / static_cast<double>(j.elapsed_seconds);
+  return total;
+}
+
+ScheduleOutcome run_schedule(const Schedule& schedule,
+                             const std::vector<JobType>& types,
+                             std::uint64_t seed) {
+  APPCLASS_EXPECTS(schedule.size() == 3);
+
+  sim::TestbedOptions opts;
+  opts.seed = seed;
+  opts.four_vms = true;
+  sim::Testbed tb = sim::make_testbed(opts);
+  const std::array<sim::VmId, 3> vms = {tb.vm1, tb.vm2, tb.vm3};
+  const int peer = static_cast<int>(tb.vm4);
+
+  const auto type_of = [&](char code) -> const JobType& {
+    for (const auto& t : types)
+      if (t.code == code) return t;
+    APPCLASS_EXPECTS(false && "unknown job code");
+    return types.front();
+  };
+
+  struct Submitted {
+    sim::InstanceId id;
+    char code;
+    std::size_t vm_index;
+  };
+  std::vector<Submitted> submitted;
+  for (std::size_t g = 0; g < schedule.size(); ++g)
+    for (char code : schedule[g])
+      submitted.push_back(Submitted{
+          tb.engine->submit(vms[g], type_of(code).factory(peer)), code, g});
+
+  const bool done = tb.engine->run_until_done(2'000'000);
+  APPCLASS_ENSURES(done);
+
+  ScheduleOutcome out;
+  out.schedule = schedule;
+  for (const auto& s : submitted) {
+    const sim::InstanceInfo info = tb.engine->instance(s.id);
+    out.jobs.push_back(JobOutcome{s.code, s.vm_index, info.elapsed()});
+    out.makespan_seconds = std::max(out.makespan_seconds, info.finish_time);
+  }
+  return out;
+}
+
+std::vector<ScheduleOutcome> run_all_schedules(
+    const std::vector<WeightedSchedule>& schedules,
+    const std::vector<JobType>& types, std::uint64_t seed) {
+  std::vector<ScheduleOutcome> out;
+  out.reserve(schedules.size());
+  for (std::size_t i = 0; i < schedules.size(); ++i)
+    out.push_back(run_schedule(schedules[i].schedule, types, seed + i));
+  return out;
+}
+
+double weighted_average_throughput(
+    const std::vector<WeightedSchedule>& schedules,
+    const std::vector<ScheduleOutcome>& outcomes) {
+  APPCLASS_EXPECTS(schedules.size() == outcomes.size());
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    const auto w = static_cast<double>(schedules[i].multiplicity);
+    weighted += w * outcomes[i].system_throughput_jobs_per_day();
+    total_weight += w;
+  }
+  APPCLASS_EXPECTS(total_weight > 0.0);
+  return weighted / total_weight;
+}
+
+ConcurrencyOutcome run_concurrent_vs_sequential(std::uint64_t seed) {
+  ConcurrencyOutcome out;
+  {
+    // Concurrent: both jobs start together on VM1.
+    sim::TestbedOptions opts;
+    opts.seed = seed;
+    opts.four_vms = false;
+    sim::Testbed tb = sim::make_testbed(opts);
+    const auto ch3d = tb.engine->submit(tb.vm1, workloads::make_ch3d());
+    const auto pm = tb.engine->submit(tb.vm1, workloads::make_postmark());
+    APPCLASS_ENSURES(tb.engine->run_until_done(1'000'000));
+    out.concurrent_ch3d_s = tb.engine->instance(ch3d).elapsed();
+    out.concurrent_postmark_s = tb.engine->instance(pm).elapsed();
+    out.concurrent_makespan_s = std::max(
+        tb.engine->instance(ch3d).finish_time,
+        tb.engine->instance(pm).finish_time);
+  }
+  {
+    // Sequential: PostMark starts when CH3D finishes.
+    sim::TestbedOptions opts;
+    opts.seed = seed;
+    opts.four_vms = false;
+    sim::Testbed tb = sim::make_testbed(opts);
+    const auto ch3d = tb.engine->submit(tb.vm1, workloads::make_ch3d());
+    const auto pm =
+        tb.engine->submit_after(tb.vm1, workloads::make_postmark(), ch3d);
+    APPCLASS_ENSURES(tb.engine->run_until_done(1'000'000));
+    out.sequential_ch3d_s = tb.engine->instance(ch3d).elapsed();
+    out.sequential_postmark_s = tb.engine->instance(pm).elapsed();
+    out.sequential_makespan_s = tb.engine->instance(pm).finish_time;
+  }
+  return out;
+}
+
+}  // namespace appclass::sched

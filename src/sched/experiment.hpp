@@ -1,0 +1,84 @@
+// Scheduling experiments (paper section 5.2).
+//
+// * Nine-job experiment (Figures 4 and 5): three instances each of
+//   SPECseis96-small ('S'), PostMark ('P'), and NetPIPE ('N') are placed
+//   onto VM1-3 (three per VM) and run to completion; VM4 hosts the NetPIPE
+//   server. System throughput is the sum over jobs of 86400/elapsed
+//   (jobs/day); per-application throughput restricts the sum to one code.
+// * Concurrent-vs-sequential experiment (Table 4): CH3D and PostMark on
+//   one VM, together versus back-to-back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/class_label.hpp"
+#include "sched/jobmix.hpp"
+#include "workloads/catalog.hpp"
+
+namespace appclass::sched {
+
+/// A job type participating in a scheduling experiment.
+struct JobType {
+  char code = '?';
+  std::string name;
+  core::ApplicationClass expected_class = core::ApplicationClass::kIdle;
+  /// Creates a fresh model instance; `peer_vm` is the engine VmId of the
+  /// network-server VM (ignored by non-network jobs).
+  std::function<workloads::ModelPtr(int peer_vm)> factory;
+};
+
+/// The paper's S/P/N job types.
+std::vector<JobType> paper_job_types();
+
+/// Outcome of one job instance in a schedule run.
+struct JobOutcome {
+  char code = '?';
+  std::size_t vm_index = 0;  ///< 0..2 for VM1..VM3
+  std::int64_t elapsed_seconds = 0;
+};
+
+/// Outcome of running one full schedule.
+struct ScheduleOutcome {
+  Schedule schedule;
+  std::vector<JobOutcome> jobs;
+  std::int64_t makespan_seconds = 0;
+
+  /// Sum over all jobs of 86400 / elapsed.
+  double system_throughput_jobs_per_day() const;
+  /// Same, restricted to one job code.
+  double app_throughput_jobs_per_day(char code) const;
+};
+
+/// Runs one schedule of the nine-job experiment on a fresh testbed.
+ScheduleOutcome run_schedule(const Schedule& schedule,
+                             const std::vector<JobType>& types,
+                             std::uint64_t seed = 42);
+
+/// Runs every schedule; returns outcomes in the same order as `schedules`.
+std::vector<ScheduleOutcome> run_all_schedules(
+    const std::vector<WeightedSchedule>& schedules,
+    const std::vector<JobType>& types, std::uint64_t seed = 42);
+
+/// Multiplicity-weighted mean system throughput — the expected throughput
+/// of a scheduler that picks an assignment uniformly at random (the
+/// paper's baseline for the 22.11% claim).
+double weighted_average_throughput(
+    const std::vector<WeightedSchedule>& schedules,
+    const std::vector<ScheduleOutcome>& outcomes);
+
+/// Table 4: concurrent vs sequential execution of CH3D + PostMark.
+struct ConcurrencyOutcome {
+  std::int64_t concurrent_ch3d_s = 0;
+  std::int64_t concurrent_postmark_s = 0;
+  std::int64_t concurrent_makespan_s = 0;
+  std::int64_t sequential_ch3d_s = 0;
+  std::int64_t sequential_postmark_s = 0;
+  std::int64_t sequential_makespan_s = 0;
+};
+ConcurrencyOutcome run_concurrent_vs_sequential(std::uint64_t seed = 42);
+
+}  // namespace appclass::sched

@@ -1,0 +1,125 @@
+#include "sched/jobmix.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace appclass::sched {
+
+namespace {
+
+std::uint64_t binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  std::uint64_t r = 1;
+  for (int i = 0; i < k; ++i)
+    r = r * static_cast<std::uint64_t>(n - i) /
+        static_cast<std::uint64_t>(i + 1);
+  return r;
+}
+
+/// Enumerates multisets of size `size` drawn from `remaining`, yielding
+/// (group-string, number of distinguishable ways to pick it).
+void enumerate_groups(
+    const std::vector<std::pair<char, int>>& remaining, std::size_t idx,
+    int size, std::string& prefix, std::uint64_t ways,
+    std::vector<std::pair<std::string, std::uint64_t>>& out) {
+  if (size == 0) {
+    out.emplace_back(prefix, ways);
+    return;
+  }
+  if (idx >= remaining.size()) return;
+  const auto [code, avail] = remaining[idx];
+  const int max_take = std::min(avail, size);
+  for (int take = 0; take <= max_take; ++take) {
+    // Jobs of the same type are interchangeable, so picking `take` of them
+    // contributes C(avail, take) distinguishable selections.
+    const std::uint64_t w = ways * binomial(avail, take);
+    prefix.append(static_cast<std::size_t>(take), code);
+    enumerate_groups(remaining, idx + 1, size - take, prefix, w, out);
+    prefix.resize(prefix.size() - static_cast<std::size_t>(take));
+  }
+}
+
+void recurse(std::vector<std::pair<char, int>>& remaining, int groups_left,
+             int group_size, Schedule& partial, std::uint64_t ways,
+             std::map<Schedule, std::uint64_t>& tally) {
+  if (groups_left == 0) {
+    tally[canonicalize(partial)] += ways;
+    return;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> options;
+  std::string prefix;
+  enumerate_groups(remaining, 0, group_size, prefix, 1, options);
+  for (const auto& [group, w] : options) {
+    // Subtract the group from the remaining counts.
+    for (char c : group)
+      for (auto& [code, count] : remaining)
+        if (code == c) --count;
+    partial.push_back(group);
+    recurse(remaining, groups_left - 1, group_size, partial, ways * w, tally);
+    partial.pop_back();
+    for (char c : group)
+      for (auto& [code, count] : remaining)
+        if (code == c) ++count;
+  }
+}
+
+}  // namespace
+
+Schedule canonicalize(Schedule schedule) {
+  for (auto& g : schedule) std::sort(g.begin(), g.end());
+  std::sort(schedule.begin(), schedule.end(), std::greater<>{});
+  return schedule;
+}
+
+std::vector<WeightedSchedule> enumerate_schedules(
+    const std::map<char, int>& job_counts, int groups, int group_size) {
+  int total = 0;
+  for (const auto& [code, count] : job_counts) {
+    APPCLASS_EXPECTS(count >= 0);
+    total += count;
+  }
+  APPCLASS_EXPECTS(total == groups * group_size);
+
+  std::vector<std::pair<char, int>> remaining(job_counts.begin(),
+                                              job_counts.end());
+  std::map<Schedule, std::uint64_t> tally;
+  Schedule partial;
+  recurse(remaining, groups, group_size, partial, 1, tally);
+
+  // Each unordered schedule was reached once per ordering of its distinct
+  // groups across the distinguishable VMs; the raw tally therefore already
+  // counts distinguishable assignments (VMs are distinguishable).
+  std::vector<WeightedSchedule> out;
+  out.reserve(tally.size());
+  for (const auto& [schedule, ways] : tally)
+    out.push_back(WeightedSchedule{schedule, ways});
+  return out;
+}
+
+std::string to_string(const Schedule& schedule) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    out += "(" + schedule[i] + ")";
+    if (i + 1 < schedule.size()) out += ",";
+  }
+  return out + "}";
+}
+
+int diversity_score(const Schedule& schedule,
+                    const std::map<char, core::ApplicationClass>& classes) {
+  int score = 0;
+  for (const auto& group : schedule) {
+    std::set<core::ApplicationClass> distinct;
+    for (char c : group) {
+      const auto it = classes.find(c);
+      APPCLASS_EXPECTS(it != classes.end());
+      distinct.insert(it->second);
+    }
+    score += static_cast<int>(distinct.size());
+  }
+  return score;
+}
+
+}  // namespace appclass::sched

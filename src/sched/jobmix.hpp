@@ -1,0 +1,51 @@
+// Job mixes and schedule enumeration for the paper's section 5.2
+// experiment: nine jobs (three each of SPECseis96 'S', PostMark 'P',
+// NetPIPE 'N') placed onto three VMs, three jobs per VM. Up to symmetry
+// there are exactly ten schedules (paper Figure 4); a uniformly random
+// *assignment* of jobs to VMs hits each schedule with a different
+// multiplicity, which is what the paper's "weighted average" baseline
+// weights by.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/class_label.hpp"
+
+namespace appclass::sched {
+
+/// A schedule: one multiset of job codes per VM, canonicalized so that
+/// codes within a group are sorted and groups are sorted descending
+/// (e.g. {"SSP","SPN","PNN"} -> groups as stored strings).
+using Group = std::string;
+using Schedule = std::vector<Group>;
+
+/// A schedule together with the number of distinguishable job-to-VM
+/// assignments that realize it.
+struct WeightedSchedule {
+  Schedule schedule;
+  std::uint64_t multiplicity = 0;
+};
+
+/// Enumerates every distinct schedule of `job_counts` (code -> count) into
+/// `groups` unordered groups of `group_size`, with multiplicities.
+/// The total job count must equal groups * group_size.
+std::vector<WeightedSchedule> enumerate_schedules(
+    const std::map<char, int>& job_counts, int groups, int group_size);
+
+/// Canonicalizes a schedule (sorts codes within groups, then groups).
+Schedule canonicalize(Schedule schedule);
+
+/// Renders "{(SPN),(SPN),(SPN)}".
+std::string to_string(const Schedule& schedule);
+
+/// Diversity score used by the class-aware policy: the number of distinct
+/// classes per group, summed over groups. The all-distinct schedule
+/// maximizes it.
+int diversity_score(const Schedule& schedule,
+                    const std::map<char, core::ApplicationClass>& classes);
+
+}  // namespace appclass::sched

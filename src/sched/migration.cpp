@@ -1,0 +1,31 @@
+#include "sched/migration.hpp"
+
+namespace appclass::sched {
+
+StageAwareMigrator::StageAwareMigrator(sim::Engine& engine,
+                                       core::OnlineClassifier& classifier,
+                                       sim::InstanceId target,
+                                       StagePreferences preferences)
+    : engine_(engine), target_(target), preferences_(preferences) {
+  classifier.on_change(
+      [this](const core::BehaviourChange& change) { on_change(change); });
+}
+
+void StageAwareMigrator::on_change(const core::BehaviourChange& change) {
+  const sim::InstanceInfo info = engine_.instance(target_);
+  if (info.state != sim::InstanceState::kRunning) return;
+  // Only changes observed on the VM currently hosting the target matter.
+  if (engine_.vm(info.vm).spec().ip != change.node_ip) return;
+
+  const auto preferred =
+      preferences_.preferred_vm[core::index_of(change.to)];
+  if (!preferred || *preferred == info.vm) return;
+
+  const sim::SimTime downtime = engine_.migrate(target_, *preferred);
+  if (downtime > 0) {
+    ++migrations_;
+    downtime_ += downtime;
+  }
+}
+
+}  // namespace appclass::sched

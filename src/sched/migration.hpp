@@ -1,0 +1,56 @@
+// Stage-aware migration (paper section 1: "with process migration
+// techniques it is possible to migrate an application during its execution
+// ... better matching of resource availability and application resource
+// requirement across different execution stages and across different
+// nodes").
+//
+// The migrator watches the online classifier's view of the VM currently
+// hosting a target application. When the VM's debounced behaviour class
+// changes — the application entered a new execution stage — and a
+// different VM is preferred for that class (e.g. a VM on an idle-CPU host
+// for compute stages, a VM on an idle-disk host for I/O stages), it
+// checkpoints and migrates the instance there.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "core/online.hpp"
+#include "sim/engine.hpp"
+
+namespace appclass::sched {
+
+/// Preferred VM per behaviour class; classes without a preference never
+/// trigger a migration.
+struct StagePreferences {
+  std::array<std::optional<sim::VmId>, core::kClassCount> preferred_vm{};
+
+  void prefer(core::ApplicationClass cls, sim::VmId vm) {
+    preferred_vm[core::index_of(cls)] = vm;
+  }
+};
+
+class StageAwareMigrator {
+ public:
+  /// Registers with `classifier`'s change callback. The classifier and
+  /// engine must outlive the migrator, and the migrator must be the only
+  /// consumer of the classifier's on_change hook.
+  StageAwareMigrator(sim::Engine& engine, core::OnlineClassifier& classifier,
+                     sim::InstanceId target, StagePreferences preferences);
+
+  /// Number of migrations performed so far.
+  int migrations() const noexcept { return migrations_; }
+  /// Total checkpoint downtime incurred, seconds.
+  sim::SimTime total_downtime() const noexcept { return downtime_; }
+
+ private:
+  void on_change(const core::BehaviourChange& change);
+
+  sim::Engine& engine_;
+  sim::InstanceId target_;
+  StagePreferences preferences_;
+  int migrations_ = 0;
+  sim::SimTime downtime_ = 0;
+};
+
+}  // namespace appclass::sched

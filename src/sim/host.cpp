@@ -1,0 +1,28 @@
+#include "sim/host.hpp"
+
+namespace appclass::sim {
+
+HostSpec make_host_a_spec() {
+  HostSpec s;
+  s.name = "hostA";
+  s.cores = 2;
+  s.cpu_speed = 1.0;
+  s.cpu_mhz = 1800.0;
+  s.ram_mb = 1024.0;
+  return s;
+}
+
+HostSpec make_host_b_spec() {
+  HostSpec s;
+  s.name = "hostB";
+  s.cores = 2;
+  s.cpu_speed = 2.4 / 1.8;
+  s.cpu_mhz = 2400.0;
+  s.ram_mb = 4096.0;
+  // The 4 GB host caches most of its VMs' virtual-disk files, so the
+  // effective disk bandwidth seen by guests is far higher than host A's.
+  s.disk_blocks_per_s = 24000.0;
+  return s;
+}
+
+}  // namespace appclass::sim

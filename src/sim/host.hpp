@@ -1,0 +1,52 @@
+// Physical host model.
+//
+// A host contributes four contended resources to the engine's global table:
+// CPU (in reference-core units), disk bandwidth, and NIC bandwidth in each
+// direction, plus an intra-host virtual-switch capacity for VM-to-VM
+// traffic that never reaches the physical NIC.
+#pragma once
+
+#include <string>
+
+#include "sim/resources.hpp"
+
+namespace appclass::sim {
+
+/// Static description of a physical machine.
+struct HostSpec {
+  std::string name;
+  /// Number of physical CPUs.
+  int cores = 2;
+  /// Relative per-core speed; 1.0 is the reference core (the paper's
+  /// 1.80 GHz Xeon). The 2.40 GHz host is 2.4/1.8 = 1.333.
+  double cpu_speed = 1.0;
+  /// Nominal clock in MHz, reported through the cpu_speed metric.
+  double cpu_mhz = 1800.0;
+  /// Physical RAM, MB.
+  double ram_mb = 1024.0;
+  /// Disk bandwidth in 1 KB blocks per second (2002-era SCSI disk plus
+  /// GSX virtualization overhead).
+  double disk_blocks_per_s = 12000.0;
+  /// Achievable NIC bandwidth, bytes per second each direction (Gigabit
+  /// Ethernet through a GSX virtual NIC falls well short of line rate).
+  double net_bytes_per_s = 80.0e6;
+  /// Intra-host VM-to-VM switching capacity, bytes per second (GSX's
+  /// vmnet switch is CPU-bound and slower than the physical NIC path).
+  double vswitch_bytes_per_s = 120.0e6;
+};
+
+/// Returns the paper's two host machines.
+HostSpec make_host_a_spec();  ///< dual 1.80 GHz Xeon, 1 GB RAM (hosts VM1)
+HostSpec make_host_b_spec();  ///< dual 2.40 GHz Xeon, 4 GB RAM (hosts VM2-4)
+
+/// A host registered with an engine; records its resource table slots.
+struct Host {
+  HostSpec spec;
+  ResourceId cpu = 0;      ///< capacity: cores * cpu_speed reference cores
+  ResourceId disk = 0;     ///< capacity: disk_blocks_per_s
+  ResourceId net_in = 0;   ///< capacity: net_bytes_per_s
+  ResourceId net_out = 0;  ///< capacity: net_bytes_per_s
+  ResourceId vswitch = 0;  ///< capacity: vswitch_bytes_per_s
+};
+
+}  // namespace appclass::sim

@@ -1,0 +1,65 @@
+// Capacitated resources and demand vectors for the cluster simulator.
+//
+// Every contended quantity in the simulation — a host's CPU, its disk
+// bandwidth, its NIC in each direction, a VM's vCPU allowance — is one
+// `Resource` with a scalar capacity per simulated second. An application
+// instance expresses what it would consume this tick as a sparse `Demand`
+// over those resources; the water-filling allocator (waterfill.hpp) then
+// computes a max-min fair uniform scaling of every instance's demand.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace appclass::sim {
+
+/// Index into the engine's global resource table.
+using ResourceId = std::size_t;
+
+/// One capacitated resource.
+struct Resource {
+  std::string name;     ///< e.g. "hostA.cpu", "vm1.vcpu", "hostB.net_out"
+  double capacity = 0;  ///< units per simulated second; +inf = uncapped
+};
+
+/// Sparse demand vector: (resource, amount-per-second) pairs.
+///
+/// Amounts are what the instance would consume at full speed this tick; the
+/// allocator scales the whole vector by a single fraction f in [0, 1].
+class Demand {
+ public:
+  void add(ResourceId id, double amount) {
+    APPCLASS_EXPECTS(amount >= 0.0);
+    if (amount == 0.0) return;
+    for (auto& [rid, a] : entries_)
+      if (rid == id) {
+        a += amount;
+        return;
+      }
+    entries_.emplace_back(id, amount);
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  auto begin() const noexcept { return entries_.begin(); }
+  auto end() const noexcept { return entries_.end(); }
+
+  double amount(ResourceId id) const noexcept {
+    for (const auto& [rid, a] : entries_)
+      if (rid == id) return a;
+    return 0.0;
+  }
+
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  std::vector<std::pair<ResourceId, double>> entries_;
+};
+
+inline constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
+}  // namespace appclass::sim

@@ -1,0 +1,35 @@
+#include "sim/testbed.hpp"
+
+namespace appclass::sim {
+
+VmSpec make_vm_spec(const std::string& name, const std::string& ip,
+                    double ram_mb) {
+  VmSpec spec;
+  spec.name = name;
+  spec.ip = ip;
+  spec.ram_mb = ram_mb;
+  spec.swap_mb = 2.0 * ram_mb;
+  spec.vcpus = 1;  // GSX-era guests are uniprocessor
+  // A guest OS cannot spend 48 MB of a 32 MB VM; scale the base footprint
+  // down for tiny VMs (2.6-era Linux minimal installs idle near 20 MB).
+  spec.os_base_mb = ram_mb >= 128.0 ? 48.0 : 20.0;
+  return spec;
+}
+
+Testbed make_testbed(const TestbedOptions& options) {
+  Testbed tb;
+  tb.engine = std::make_unique<Engine>(options.seed);
+  tb.host_a = tb.engine->add_host(make_host_a_spec());
+  tb.host_b = tb.engine->add_host(make_host_b_spec());
+
+  tb.vm1 = tb.engine->add_vm(
+      tb.host_a, make_vm_spec("vm1", "10.0.0.1", options.vm1_ram_mb));
+  if (options.four_vms) {
+    tb.vm2 = tb.engine->add_vm(tb.host_b, make_vm_spec("vm2", "10.0.0.2"));
+    tb.vm3 = tb.engine->add_vm(tb.host_b, make_vm_spec("vm3", "10.0.0.3"));
+  }
+  tb.vm4 = tb.engine->add_vm(tb.host_b, make_vm_spec("vm4", "10.0.0.4"));
+  return tb;
+}
+
+}  // namespace appclass::sim

@@ -1,0 +1,42 @@
+// The paper's experimental testbed, reconstructed (section 5.2):
+//
+//   * host A — dual 1.80 GHz Xeon, 1 GB RAM: hosts VM1
+//   * host B — dual 2.40 GHz Xeon, 4 GB RAM: hosts VM2, VM3, VM4
+//   * all VMs — VMware GSX style, 256 MB RAM, on a Gigabit subnet
+//   * VM4 serves as the remote endpoint for network benchmarks
+//
+// Single-VM experiments (training, Table 3) use the same hosts with only
+// VM1 plus the network peer VM4.
+#pragma once
+
+#include <memory>
+
+#include "sim/engine.hpp"
+
+namespace appclass::sim {
+
+struct Testbed {
+  std::unique_ptr<Engine> engine;
+  HostId host_a = 0;
+  HostId host_b = 0;
+  VmId vm1 = 0;
+  VmId vm2 = 0;
+  VmId vm3 = 0;
+  VmId vm4 = 0;  ///< network-server VM
+};
+
+/// Options deviating from the default testbed.
+struct TestbedOptions {
+  std::uint64_t seed = 42;
+  double vm1_ram_mb = 256.0;  ///< the SPECseis96 B experiment uses 32 MB
+  bool four_vms = true;       ///< false: only VM1 + the peer VM4
+};
+
+/// Builds the testbed. VM IPs are 10.0.0.1 .. 10.0.0.4.
+Testbed make_testbed(const TestbedOptions& options = {});
+
+/// VM spec used for the standard 256 MB worker VMs.
+VmSpec make_vm_spec(const std::string& name, const std::string& ip,
+                    double ram_mb = 256.0);
+
+}  // namespace appclass::sim

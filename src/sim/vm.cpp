@@ -1,0 +1,184 @@
+#include "sim/vm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace appclass::sim {
+
+namespace {
+
+// Paging traffic per unit overcommit ratio per MB of hot working set,
+// KB/s. Thrashing severity scales with how far memory is oversubscribed
+// *relative to what is available* — a 55 MB working set in a 32 MB VM
+// faults much harder than a 380 MB array over 256 MB. Calibrated so the
+// paper's Pagebench (384 MB array, 256 MB VM) swaps at ~4 MB/s.
+constexpr double kPagingKbPerRatioHotMb = 13.0;
+
+// Swap traffic (KB/s) at which paging latency halves application progress.
+constexpr double kPagingHalfSpeedKb = 5000.0;
+
+// Background daemon CPU load (cores) and its jitter.
+constexpr double kDaemonCpu = 0.004;
+
+}  // namespace
+
+Vm::Vm(VmSpec spec, std::size_t host_index, ResourceSlots slots,
+       double host_cpu_speed, double host_cpu_mhz, std::uint64_t seed)
+    : spec_(std::move(spec)),
+      host_index_(host_index),
+      slots_(slots),
+      host_cpu_speed_(host_cpu_speed),
+      host_cpu_mhz_(host_cpu_mhz),
+      rng_(seed) {
+  cache_mb_ = std::max(1.0, spec_.ram_mb - spec_.os_base_mb);
+  disk_used_gb_ = 0.35 * spec_.disk_total_gb;
+}
+
+double Vm::read_absorption(const MemoryProfile& mem) const noexcept {
+  if (mem.file_footprint_mb <= 0.0 || mem.io_reuse <= 0.0) return 0.0;
+  // The fraction of the re-referenced file set that fits in the current
+  // page cache bounds the achievable hit ratio.
+  const double fit = cache_mb_ / (cache_mb_ + mem.file_footprint_mb);
+  return std::clamp(mem.io_reuse * fit * 2.0, 0.0, 0.98);
+}
+
+double Vm::write_absorption(const MemoryProfile& mem) const noexcept {
+  return 0.5 * read_absorption(mem);
+}
+
+double Vm::paging_kb_per_s(const MemoryProfile& mem) const noexcept {
+  if (overcommit_mb_ <= 0.0 || resident_mb_ <= 0.0) return 0.0;
+  const double hot_mb = mem.working_set_mb * mem.access_intensity;
+  if (hot_mb <= 0.0) return 0.0;
+  const double available = std::max(1.0, spec_.ram_mb - spec_.os_base_mb);
+  const double ratio = overcommit_mb_ / available;
+  return kPagingKbPerRatioHotMb * ratio * hot_mb;
+}
+
+double Vm::paging_penalty(double paging_kb_s) noexcept {
+  return 1.0 / (1.0 + paging_kb_s / kPagingHalfSpeedKb);
+}
+
+void Vm::update_memory_pressure(double resident_mb, double access_weight) {
+  const double available = std::max(1.0, spec_.ram_mb - spec_.os_base_mb);
+  overcommit_mb_ = std::max(0.0, resident_mb - available);
+  resident_mb_ = resident_mb;
+  access_weight_ = access_weight;
+  // Page cache takes whatever RAM is left after resident sets; under
+  // pressure it collapses to ~1 MB (the paper observed exactly this for
+  // SPECseis96 in a 32 MB VM).
+  const double target_cache = std::max(1.0, available - resident_mb);
+  // First-order lag: caches grow/shrink over tens of seconds, not instantly.
+  cache_mb_ += 0.2 * (target_cache - cache_mb_);
+  cache_mb_ = std::clamp(cache_mb_, 1.0, available);
+}
+
+metrics::Snapshot Vm::finalize_tick(SimTime now) {
+  using metrics::MetricId;
+
+  // --- background daemon noise so an idle VM is not exactly zero ---
+  const double daemon_cpu = kDaemonCpu * rng_.uniform(0.5, 2.0);
+  account_.cpu_system_cores += daemon_cpu;
+  if (rng_.bernoulli(0.05)) account_.io_write_blocks += rng_.uniform(1.0, 8.0);
+  if (rng_.bernoulli(0.10)) {
+    account_.bytes_in += rng_.uniform(200.0, 1500.0);   // gmond chatter etc.
+    account_.bytes_out += rng_.uniform(200.0, 1500.0);
+  }
+
+  // --- CPU percentages, relative to this VM's vCPU capacity ---
+  const double vcpu_capacity =
+      static_cast<double>(spec_.vcpus) * host_cpu_speed_;
+  const double to_pct = 100.0 / vcpu_capacity;
+  double user_pct = account_.cpu_user_cores * to_pct;
+  double system_pct = account_.cpu_system_cores * to_pct;
+  double wio_pct = account_.cpu_wio_cores * to_pct;
+  // Clamp the triple into [0, 100] preserving user:system ratio.
+  const double busy = user_pct + system_pct;
+  if (busy > 100.0) {
+    user_pct *= 100.0 / busy;
+    system_pct *= 100.0 / busy;
+    wio_pct = 0.0;
+  }
+  wio_pct = std::min(wio_pct, 100.0 - user_pct - system_pct);
+  const double idle_pct = 100.0 - user_pct - system_pct - wio_pct;
+
+  idle_seconds_ += idle_pct / 100.0;
+  total_seconds_ += 1.0;
+
+  // --- load averages: EWMA of the runnable count ---
+  const double runnable = account_.runnable + (busy > 5.0 ? 0.0 : 0.0);
+  const auto ewma = [&](double load, double tau) {
+    const double alpha = 1.0 - std::exp(-1.0 / tau);
+    return load + alpha * (runnable - load);
+  };
+  load1_ = ewma(load1_, 60.0);
+  load5_ = ewma(load5_, 300.0);
+  load15_ = ewma(load15_, 900.0);
+
+  // --- memory occupancy ---
+  const double resident = std::min(account_.resident_mb,
+                                   spec_.ram_mb - spec_.os_base_mb +
+                                       0.0);  // resident beyond RAM is swapped
+  const double used_mb = std::min(spec_.ram_mb,
+                                  spec_.os_base_mb + resident + cache_mb_);
+  const double mem_free_kb = std::max(0.0, spec_.ram_mb - used_mb) * 1024.0;
+
+  // Swap occupancy follows the overcommit level with a slow lag.
+  const double target_swap_kb = overcommit_mb_ * 1024.0;
+  swap_used_kb_ += 0.1 * (target_swap_kb - swap_used_kb_);
+  swap_used_kb_ = std::clamp(swap_used_kb_, 0.0, spec_.swap_mb * 1024.0);
+
+  // --- disk fill: writes slowly consume space (bounded) ---
+  disk_used_gb_ = std::min(0.9 * spec_.disk_total_gb,
+                           disk_used_gb_ +
+                               account_.io_write_blocks / (1024.0 * 1024.0));
+
+  metrics::Snapshot s;
+  s.time = now;
+  s.node_ip = spec_.ip;
+  s.set(MetricId::kCpuUser, user_pct);
+  s.set(MetricId::kCpuSystem, system_pct);
+  s.set(MetricId::kCpuNice, 0.0);
+  s.set(MetricId::kCpuIdle, idle_pct);
+  s.set(MetricId::kCpuWio, wio_pct);
+  s.set(MetricId::kCpuAidle,
+        100.0 * idle_seconds_ / std::max(1.0, total_seconds_));
+  s.set(MetricId::kCpuNum, static_cast<double>(spec_.vcpus));
+  s.set(MetricId::kCpuSpeed, host_cpu_mhz_);
+  s.set(MetricId::kLoadOne, load1_);
+  s.set(MetricId::kLoadFive, load5_);
+  s.set(MetricId::kLoadFifteen, load15_);
+  s.set(MetricId::kProcRun, static_cast<double>(account_.runnable) +
+                                (rng_.bernoulli(0.2) ? 1.0 : 0.0));
+  s.set(MetricId::kProcTotal,
+        58.0 + static_cast<double>(account_.runnable) +
+            std::floor(rng_.uniform(0.0, 4.0)));
+  s.set(MetricId::kMemFree, mem_free_kb);
+  s.set(MetricId::kMemShared, 0.0);
+  s.set(MetricId::kMemBuffers,
+        std::min(cache_mb_, 0.08 * spec_.ram_mb) * 1024.0);
+  s.set(MetricId::kMemCached, cache_mb_ * 1024.0);
+  s.set(MetricId::kMemTotal, spec_.ram_mb * 1024.0);
+  s.set(MetricId::kSwapFree, spec_.swap_mb * 1024.0 - swap_used_kb_);
+  s.set(MetricId::kSwapTotal, spec_.swap_mb * 1024.0);
+  s.set(MetricId::kBytesIn, account_.bytes_in);
+  s.set(MetricId::kBytesOut, account_.bytes_out);
+  s.set(MetricId::kPktsIn, account_.bytes_in / 1200.0);
+  s.set(MetricId::kPktsOut, account_.bytes_out / 1200.0);
+  s.set(MetricId::kDiskTotal, spec_.disk_total_gb);
+  s.set(MetricId::kDiskFree, spec_.disk_total_gb - disk_used_gb_);
+  s.set(MetricId::kPartMaxUsed, 100.0 * disk_used_gb_ / spec_.disk_total_gb);
+  s.set(MetricId::kBoottime, static_cast<double>(boottime_));
+  s.set(MetricId::kMtu, 1500.0);
+  s.set(MetricId::kIoBi,
+        account_.io_read_blocks + account_.swap_in_kb);   // swap is block I/O
+  s.set(MetricId::kIoBo,
+        account_.io_write_blocks + account_.swap_out_kb);
+  s.set(MetricId::kSwapIn, account_.swap_in_kb);
+  s.set(MetricId::kSwapOut, account_.swap_out_kb);
+
+  account_.reset();
+  return s;
+}
+
+}  // namespace appclass::sim

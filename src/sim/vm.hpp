@@ -1,0 +1,141 @@
+// Virtual machine model: memory management (paging + page cache), per-tick
+// resource accounting, and production of the 33-metric snapshots a Ganglia
+// gmond inside the VM would report.
+//
+// The VM is where the paper's two environment-sensitivity effects live:
+//   * paging — when the resident working sets of the hosted applications
+//     exceed VM RAM, swap traffic appears (swap_in/out + extra disk blocks)
+//     and progress suffers a latency penalty (SPECseis96 B, Pagebench);
+//   * page cache — file re-reads are absorbed in proportion to the cache
+//     size left over after resident memory, so shrinking VM RAM turns a
+//     CPU-bound run into an I/O-visible one (the 200 MB vs 1 MB buffer
+//     cache the paper observed for SPECseis96 A vs B).
+#pragma once
+
+#include <string>
+
+#include "linalg/random.hpp"
+#include "metrics/snapshot.hpp"
+#include "sim/resources.hpp"
+#include "sim/workload.hpp"
+
+namespace appclass::sim {
+
+/// Static description of a virtual machine.
+struct VmSpec {
+  std::string name;
+  std::string ip;           ///< identity on the monitoring subnet
+  double ram_mb = 256.0;    ///< configured VM memory
+  double swap_mb = 512.0;   ///< configured swap space
+  int vcpus = 2;            ///< virtual CPUs (<= host cores)
+  double os_base_mb = 48.0; ///< resident memory of the guest OS + daemons
+  double disk_total_gb = 8.0;
+  /// Virtual-disk bandwidth, 1 KB blocks/s: the single in-guest disk queue
+  /// caps what all processes in the VM can push together, regardless of
+  /// how fast the host's storage (or its cache) is.
+  double vdisk_blocks_per_s = 11000.0;
+  /// Virtual NIC bandwidth, bytes/s each direction (GSX vNIC emulation).
+  double vnic_bytes_per_s = 72.0e6;
+};
+
+/// Per-tick resource consumption accumulated for one VM, in per-second
+/// units. Reset at the start of every engine tick.
+struct VmTickAccount {
+  double cpu_user_cores = 0.0;
+  double cpu_system_cores = 0.0;
+  double cpu_wio_cores = 0.0;  ///< CPU forfeited while blocked on disk
+  double bytes_in = 0.0;
+  double bytes_out = 0.0;
+  double io_read_blocks = 0.0;
+  double io_write_blocks = 0.0;
+  double swap_in_kb = 0.0;
+  double swap_out_kb = 0.0;
+  double resident_mb = 0.0;  ///< application working sets resident this tick
+  int runnable = 0;          ///< instances that demanded CPU this tick
+
+  void reset() { *this = VmTickAccount{}; }
+};
+
+/// A virtual machine registered with an engine.
+class Vm {
+ public:
+  struct ResourceSlots {
+    ResourceId vcpu = 0;
+    ResourceId vdisk = 0;
+    ResourceId vnic_in = 0;
+    ResourceId vnic_out = 0;
+  };
+
+  Vm(VmSpec spec, std::size_t host_index, ResourceSlots slots,
+     double host_cpu_speed, double host_cpu_mhz, std::uint64_t seed);
+
+  const VmSpec& spec() const noexcept { return spec_; }
+  std::size_t host_index() const noexcept { return host_index_; }
+  ResourceId vcpu_resource() const noexcept { return slots_.vcpu; }
+  ResourceId vdisk_resource() const noexcept { return slots_.vdisk; }
+  ResourceId vnic_in_resource() const noexcept { return slots_.vnic_in; }
+  ResourceId vnic_out_resource() const noexcept { return slots_.vnic_out; }
+
+  VmTickAccount& tick_account() noexcept { return account_; }
+  const VmTickAccount& tick_account() const noexcept { return account_; }
+
+  /// Page-cache size currently available for file I/O absorption, MB.
+  double cache_mb() const noexcept { return cache_mb_; }
+
+  /// Fraction of `read_blocks` absorbed by the page cache for an
+  /// application with the given memory profile (0 = all hit disk).
+  double read_absorption(const MemoryProfile& mem) const noexcept;
+
+  /// Write-back absorption (writes coalesce in cache, at half the read
+  /// effectiveness).
+  double write_absorption(const MemoryProfile& mem) const noexcept;
+
+  /// Paging traffic (KB/s, nominal) an application with profile `mem`
+  /// generates given the VM's current memory pressure. Zero when the VM is
+  /// not overcommitted.
+  double paging_kb_per_s(const MemoryProfile& mem) const noexcept;
+
+  /// Multiplicative progress penalty for an application generating
+  /// `paging_kb_s` of swap traffic (1 = no penalty).
+  static double paging_penalty(double paging_kb_s) noexcept;
+
+  /// Recomputes memory pressure for this tick from the sum of resident
+  /// working sets (`resident_mb`) and the total paging access weight
+  /// (sum of ws*intensity over hosted instances).
+  void update_memory_pressure(double resident_mb, double access_weight);
+
+  /// Finalizes the tick: updates load averages, swap occupancy, cache
+  /// dynamics and returns the gmond-visible snapshot for time `now`.
+  metrics::Snapshot finalize_tick(SimTime now);
+
+ private:
+  VmSpec spec_;
+  std::size_t host_index_;
+  ResourceSlots slots_;
+  double host_cpu_speed_;
+  double host_cpu_mhz_;
+  linalg::Rng rng_;
+
+  VmTickAccount account_;
+
+  // Memory state.
+  double cache_mb_ = 0.0;
+  double overcommit_mb_ = 0.0;
+  double resident_mb_ = 0.0;
+  double access_weight_ = 0.0;
+  double swap_used_kb_ = 0.0;
+
+  // Load averages (Unix-style EWMA of the run queue length).
+  double load1_ = 0.0, load5_ = 0.0, load15_ = 0.0;
+
+  // Long-run idle accounting for cpu_aidle.
+  double idle_seconds_ = 0.0;
+  double total_seconds_ = 0.0;
+
+  // Slowly filling disk.
+  double disk_used_gb_ = 0.0;
+
+  SimTime boottime_ = 0;
+};
+
+}  // namespace appclass::sim

@@ -1,0 +1,139 @@
+#include "sim/waterfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace appclass::sim {
+
+namespace {
+
+/// Single-resource max-min fair allocation: returns the water level L such
+/// that sum_i min(d_i, L) == capacity (or +inf when total demand fits).
+/// Small demanders are served fully; the remainder is split evenly among
+/// the rest — the way a Linux CPU scheduler or a fair network queue treats
+/// competing consumers.
+double water_level(double capacity, std::vector<double> demands) {
+  double total = 0.0;
+  for (double d : demands) total += d;
+  if (total <= capacity) return std::numeric_limits<double>::infinity();
+
+  std::sort(demands.begin(), demands.end());
+  double remaining = capacity;
+  std::size_t left = demands.size();
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const double fair = remaining / static_cast<double>(left);
+    if (demands[i] <= fair) {
+      remaining -= demands[i];
+      --left;
+    } else {
+      return fair;
+    }
+  }
+  return remaining;  // unreachable when total > capacity
+}
+
+}  // namespace
+
+std::vector<double> waterfill(std::span<const double> capacities,
+                              std::span<const Demand> demands) {
+  const std::size_t n = demands.size();
+  const std::size_t nr = capacities.size();
+  std::vector<double> f(n, 1.0);
+  std::vector<bool> fixed(n, false);
+  std::vector<double> residual(capacities.begin(), capacities.end());
+  constexpr double kTol = 1e-9;
+
+  std::size_t unfixed = n;
+  // Each round: per-resource max-min levels over the unfixed instances'
+  // demands against residual capacity; an instance's candidate scale is
+  // set by its tightest grant. Instances whose binding resource actually
+  // saturates are frozen and their usage subtracted, releasing slack that
+  // lets the rest grow in later rounds (work conservation). Terminates in
+  // at most n rounds.
+  while (unfixed > 0) {
+    std::vector<std::vector<double>> per_resource(nr);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) continue;
+      for (const auto& [rid, amount] : demands[i]) {
+        APPCLASS_EXPECTS(rid < nr);
+        per_resource[rid].push_back(amount);
+      }
+    }
+    std::vector<double> level(nr, std::numeric_limits<double>::infinity());
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (per_resource[r].empty() || std::isinf(residual[r])) continue;
+      level[r] = water_level(residual[r], per_resource[r]);
+    }
+
+    // Candidate scales and the resulting per-resource loads.
+    std::vector<double> candidate(n, 1.0);
+    std::vector<double> load(nr, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) continue;
+      double fi = 1.0;
+      for (const auto& [rid, amount] : demands[i]) {
+        if (amount <= 0.0) continue;
+        fi = std::min(fi, std::min(amount, level[rid]) / amount);
+      }
+      candidate[i] = fi;
+      for (const auto& [rid, amount] : demands[i]) load[rid] += fi * amount;
+    }
+
+    std::vector<bool> saturated(nr, false);
+    for (std::size_t r = 0; r < nr; ++r)
+      saturated[r] = !std::isinf(residual[r]) && load[r] > 0.0 &&
+                     load[r] >= residual[r] * (1.0 - 1e-6) - kTol;
+
+    // Freeze instances at full speed or whose binding resource saturated.
+    bool froze_any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) continue;
+      bool freeze = candidate[i] >= 1.0 - kTol;
+      if (!freeze) {
+        for (const auto& [rid, amount] : demands[i]) {
+          if (amount <= 0.0) continue;
+          // Binding resources are those whose grant equals the candidate.
+          if (std::min(amount, level[rid]) / amount <=
+                  candidate[i] * (1.0 + 1e-9) &&
+              saturated[rid]) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        f[i] = candidate[i];
+        fixed[i] = true;
+        --unfixed;
+        froze_any = true;
+        for (const auto& [rid, amount] : demands[i])
+          if (!std::isinf(residual[rid]))
+            residual[rid] = std::max(0.0, residual[rid] - f[i] * amount);
+      }
+    }
+
+    // Numerical safety net: accept the candidates rather than loop.
+    if (!froze_any) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (!fixed[i]) f[i] = candidate[i];
+      break;
+    }
+  }
+  return f;
+}
+
+std::vector<double> resource_loads(std::size_t resource_count,
+                                   std::span<const Demand> demands,
+                                   std::span<const double> scales) {
+  APPCLASS_EXPECTS(demands.size() == scales.size());
+  std::vector<double> load(resource_count, 0.0);
+  for (std::size_t i = 0; i < demands.size(); ++i)
+    for (const auto& [rid, amount] : demands[i]) {
+      APPCLASS_EXPECTS(rid < resource_count);
+      load[rid] += scales[i] * amount;
+    }
+  return load;
+}
+
+}  // namespace appclass::sim

@@ -1,0 +1,100 @@
+// The interface between the cluster simulator and application models.
+//
+// `sim` knows nothing about concrete benchmarks; it asks a `WorkloadModel`
+// what it would consume this tick (an `AppDemand`), allocates contended
+// resources fairly, and tells the model what fraction it was granted. The
+// concrete Table-2 application models live in `src/workloads`.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "linalg/random.hpp"
+
+namespace appclass::sim {
+
+/// Simulated time in seconds since engine start.
+using SimTime = std::int64_t;
+
+/// Identifies a VM within an Engine.
+using VmId = std::size_t;
+
+/// Memory behaviour of an application, consumed by the VM paging and
+/// buffer-cache models.
+struct MemoryProfile {
+  /// Resident working set the application actively touches, MB.
+  double working_set_mb = 0.0;
+  /// Relative rate (0..1) at which the working set is touched; scales the
+  /// paging traffic generated per MB of memory overcommit.
+  double access_intensity = 0.0;
+  /// Distinct file data the application re-reads over its run, MB; together
+  /// with the VM's page-cache size this sets the cache hit ratio.
+  double file_footprint_mb = 0.0;
+  /// Fraction of file reads that would hit an infinitely large page cache
+  /// (i.e. the re-reference share of the I/O stream).
+  double io_reuse = 0.0;
+};
+
+/// What an application instance would consume in one second at full speed.
+struct AppDemand {
+  /// CPU demand in reference cores (1.0 = one fully busy reference core).
+  double cpu = 0.0;
+  /// Fraction of granted CPU spent in user mode (rest is system mode).
+  double cpu_user_fraction = 0.9;
+  /// File-system read / write traffic, 1 KB blocks per second, before page
+  /// cache absorption.
+  double disk_read_blocks = 0.0;
+  double disk_write_blocks = 0.0;
+  /// Network traffic in bytes/second from this instance's point of view.
+  double net_in_bytes = 0.0;
+  double net_out_bytes = 0.0;
+  /// Remote endpoint VM for the network traffic, or `kExternalPeer` when the
+  /// traffic leaves the simulated cluster (e.g. external web clients).
+  static constexpr int kExternalPeer = -1;
+  int net_peer_vm = kExternalPeer;
+
+  bool idle() const noexcept {
+    return cpu == 0.0 && disk_read_blocks == 0.0 && disk_write_blocks == 0.0 &&
+           net_in_bytes == 0.0 && net_out_bytes == 0.0;
+  }
+};
+
+/// Feedback given to the model after allocation, used to advance progress.
+struct Grant {
+  /// Uniform scale in [0,1] applied to the whole demand vector.
+  double fraction = 0.0;
+  /// Relative CPU speed of the hosting machine (1.0 = reference core).
+  /// CPU-bound phases advance `fraction * speed`, I/O-bound ones `fraction`.
+  double cpu_speed = 1.0;
+  /// Extra multiplicative progress penalty from paging latency (1 = none).
+  double paging_penalty = 1.0;
+  /// Progress multiplier for file I/O given the current page-cache hit
+  /// ratio: cached I/O completes at nominal speed, disk-bound I/O at a
+  /// fraction of it. 1 when the instance issued no file I/O.
+  double io_penalty = 1.0;
+};
+
+/// A simulated application. Implementations are deterministic given the Rng
+/// passed in (the engine hands every instance its own seeded substream).
+class WorkloadModel {
+ public:
+  virtual ~WorkloadModel() = default;
+
+  /// Stable, human-readable benchmark name (e.g. "postmark").
+  virtual std::string_view name() const = 0;
+
+  /// Demand for the coming one-second tick.
+  virtual AppDemand demand(SimTime now, linalg::Rng& rng) = 0;
+
+  /// Advances internal progress after allocation. Called exactly once per
+  /// tick following `demand` while the instance is running.
+  virtual void advance(const Grant& grant, SimTime now, linalg::Rng& rng) = 0;
+
+  /// True once the run is complete (never true for open-ended services).
+  virtual bool finished() const = 0;
+
+  /// Current memory behaviour (may change across execution phases).
+  virtual MemoryProfile memory() const = 0;
+};
+
+}  // namespace appclass::sim

@@ -1,0 +1,97 @@
+// Resource-usage forecasting.
+//
+// The paper positions its classifier as a complement to run-time
+// prediction approaches (section 6 discusses Conservative Scheduling,
+// which schedules on the predicted mean and variance of future CPU load).
+// This module provides those predictors over metric series: an EWMA
+// tracker with a variance estimate, and Holt's double exponential
+// smoothing for trending series.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace appclass::trace {
+
+/// Exponentially weighted moving average with an EW variance estimate —
+/// the "predicted average and variance of CPU load" primitive of
+/// Conservative Scheduling.
+class EwmaForecaster {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit EwmaForecaster(double alpha = 0.2) : alpha_(alpha) {
+    APPCLASS_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void observe(double x) noexcept {
+    if (count_ == 0) {
+      mean_ = x;
+      var_ = 0.0;
+    } else {
+      // West (1979) incremental EW mean/variance.
+      const double delta = x - mean_;
+      mean_ += alpha_ * delta;
+      var_ = (1.0 - alpha_) * (var_ + alpha_ * delta * delta);
+    }
+    ++count_;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  /// Forecast of the next value (flat persistence of the EW mean).
+  double forecast() const noexcept { return mean_; }
+  double variance() const noexcept { return var_; }
+  /// Conservative estimate: forecast plus `k` standard deviations.
+  double conservative(double k = 1.0) const noexcept {
+    return mean_ + k * std::sqrt(var_);
+  }
+
+ private:
+  double alpha_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Holt's double exponential smoothing: tracks level and trend, so it can
+/// extrapolate a ramp h steps ahead (an EWMA always lags a trend).
+class HoltForecaster {
+ public:
+  HoltForecaster(double alpha = 0.3, double beta = 0.1)
+      : alpha_(alpha), beta_(beta) {
+    APPCLASS_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+    APPCLASS_EXPECTS(beta > 0.0 && beta <= 1.0);
+  }
+
+  void observe(double x) noexcept {
+    if (count_ == 0) {
+      level_ = x;
+    } else if (count_ == 1) {
+      trend_ = x - level_;
+      level_ = x;
+    } else {
+      const double prev_level = level_;
+      level_ = alpha_ * x + (1.0 - alpha_) * (level_ + trend_);
+      trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+    }
+    ++count_;
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double level() const noexcept { return level_; }
+  double trend() const noexcept { return trend_; }
+  /// Forecast h steps ahead (h >= 1).
+  double forecast(std::size_t h = 1) const noexcept {
+    return level_ + static_cast<double>(h) * trend_;
+  }
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace appclass::trace

@@ -1,0 +1,84 @@
+#include "trace/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace appclass::trace {
+
+TimeSeries downsample(const TimeSeries& s, std::size_t factor) {
+  APPCLASS_EXPECTS(factor >= 1);
+  if (factor == 1) return s;
+  TimeSeries out;
+  out.start_time = s.start_time;
+  out.interval = s.interval * static_cast<std::int64_t>(factor);
+  out.values.reserve((s.size() + factor - 1) / factor);
+  for (std::size_t i = 0; i < s.size(); i += factor) {
+    const std::size_t end = std::min(i + factor, s.size());
+    double sum = 0.0;
+    for (std::size_t j = i; j < end; ++j) sum += s.values[j];
+    out.values.push_back(sum / static_cast<double>(end - i));
+  }
+  return out;
+}
+
+TimeSeries moving_average(const TimeSeries& s, std::size_t w) {
+  APPCLASS_EXPECTS(w >= 1 && w % 2 == 1);
+  TimeSeries out = s;
+  const std::size_t half = w / 2;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(i + half + 1, s.size());
+    double sum = 0.0;
+    for (std::size_t j = lo; j < hi; ++j) sum += s.values[j];
+    out.values[i] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+std::vector<WindowSummary> windowed_summaries(const TimeSeries& s,
+                                              std::size_t window) {
+  APPCLASS_EXPECTS(window >= 1);
+  std::vector<WindowSummary> out;
+  for (std::size_t i = 0; i < s.size(); i += window) {
+    WindowSummary ws;
+    ws.begin = i;
+    ws.end = std::min(i + window, s.size());
+    for (std::size_t j = ws.begin; j < ws.end; ++j) ws.stats.add(s.values[j]);
+    out.push_back(ws);
+  }
+  return out;
+}
+
+std::vector<std::size_t> change_points(const TimeSeries& s, std::size_t window,
+                                       double threshold) {
+  APPCLASS_EXPECTS(window >= 2);
+  const auto windows = windowed_summaries(s, window);
+  std::vector<std::size_t> boundaries;
+  for (std::size_t i = 0; i + 1 < windows.size(); ++i) {
+    const auto& a = windows[i].stats;
+    const auto& b = windows[i + 1].stats;
+    const double pooled =
+        std::sqrt(0.5 * (a.variance() + b.variance()));
+    const double scale = std::max(pooled, 1e-9);
+    if (std::abs(a.mean() - b.mean()) > threshold * scale)
+      boundaries.push_back(windows[i + 1].begin);
+  }
+  return boundaries;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> segments_from_boundaries(
+    std::size_t n, std::span<const std::size_t> boundaries) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  std::size_t start = 0;
+  for (std::size_t b : boundaries) {
+    APPCLASS_EXPECTS(b >= start && b <= n);
+    if (b > start) out.emplace_back(start, b);
+    start = b;
+  }
+  if (start < n) out.emplace_back(start, n);
+  return out;
+}
+
+}  // namespace appclass::trace

@@ -1,0 +1,64 @@
+// Time-series utilities over sampled metric values.
+//
+// The classifier itself treats snapshots as i.i.d. points, but the
+// post-processing layer (statistical abstracts, multi-stage segmentation,
+// sampling-interval ablations) needs ordered-in-time views: resampling,
+// sliding windows, smoothing, and change-point detection.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/stats.hpp"
+
+namespace appclass::trace {
+
+/// A uniformly sampled scalar series: value[i] observed at
+/// start_time + i * interval.
+struct TimeSeries {
+  std::int64_t start_time = 0;
+  std::int64_t interval = 1;  ///< seconds between samples; > 0
+  std::vector<double> values;
+
+  std::size_t size() const noexcept { return values.size(); }
+  bool empty() const noexcept { return values.empty(); }
+  std::int64_t time_at(std::size_t i) const noexcept {
+    return start_time + static_cast<std::int64_t>(i) * interval;
+  }
+};
+
+/// Downsamples `s` by an integer factor, averaging each block of `factor`
+/// consecutive samples (rate metrics stay rates). A trailing partial block
+/// is averaged over its actual length.
+TimeSeries downsample(const TimeSeries& s, std::size_t factor);
+
+/// Simple moving average with a centered window of odd width `w`.
+/// Edges use the available one-sided samples.
+TimeSeries moving_average(const TimeSeries& s, std::size_t w);
+
+/// Summary of one window of a series.
+struct WindowSummary {
+  std::size_t begin = 0;  ///< first sample index (inclusive)
+  std::size_t end = 0;    ///< one-past-last sample index
+  linalg::RunningStats stats;
+};
+
+/// Splits `s` into consecutive windows of `window` samples (last window may
+/// be shorter) and summarizes each.
+std::vector<WindowSummary> windowed_summaries(const TimeSeries& s,
+                                              std::size_t window);
+
+/// Detects change points in a series by comparing means of adjacent windows:
+/// a boundary between windows i and i+1 is a change point when the absolute
+/// difference of their means exceeds `threshold` times the pooled stddev.
+/// Returns sample indices of detected boundaries. This is the segmentation
+/// primitive behind multi-stage application analysis (paper section 7).
+std::vector<std::size_t> change_points(const TimeSeries& s, std::size_t window,
+                                       double threshold = 2.0);
+
+/// Splits [0, n) into segments at the given boundaries (sorted, in-range).
+std::vector<std::pair<std::size_t, std::size_t>> segments_from_boundaries(
+    std::size_t n, std::span<const std::size_t> boundaries);
+
+}  // namespace appclass::trace

@@ -1,0 +1,24 @@
+// Autobench — httperf wrapper driving the monitored node as a web
+// server: small request stream in, large response stream out, document
+// tree served from page cache.
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_autobench() {
+  Phase serve;
+  serve.name = "serve";
+  serve.work_units = 860.0;
+  serve.nominal_rate = 1.0;
+  serve.cpu_per_unit = 0.30;
+  serve.cpu_user_fraction = 0.30;
+  serve.net_in_per_unit = 1.2e6;   // request stream from external clients
+  serve.net_out_per_unit = 9.0e6;  // responses
+  serve.read_blocks_per_unit = 150.0;  // document tree, fully cacheable
+  serve.mem = detail::mem_profile(40.0, 0.1, 25.0, 0.9);
+  serve.rate_jitter = 0.20;
+  return std::make_unique<PhasedApp>("autobench", std::vector<Phase>{serve});
+}
+
+}  // namespace appclass::workloads

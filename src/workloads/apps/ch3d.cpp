@@ -1,0 +1,23 @@
+// CH3D — curvilinear-grid hydrodynamics model (coastal simulation);
+// CPU-intensive timestep loop with periodic history output. Table 4's
+// concurrent-vs-sequential experiment pairs it with PostMark.
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_ch3d(double work_seconds) {
+  Phase hydro;
+  hydro.name = "timestep-loop";
+  hydro.work_units = work_seconds;
+  hydro.nominal_rate = 1.0;
+  hydro.cpu_per_unit = 1.0;
+  hydro.cpu_user_fraction = 0.96;
+  hydro.write_blocks_per_unit = 45.0;  // periodic history output
+  hydro.speed_sensitivity = 1.0;
+  hydro.mem = detail::mem_profile(70.0, 0.2, 40.0, 0.9);
+  hydro.rate_jitter = 0.04;
+  return std::make_unique<PhasedApp>("ch3d", std::vector<Phase>{hydro});
+}
+
+}  // namespace appclass::workloads

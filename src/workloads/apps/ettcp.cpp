@@ -1,0 +1,25 @@
+// Ettcp — TCP throughput benchmark between two nodes; the paper's
+// network-class trainer. Modelled as a steady unidirectional stream with
+// an ACK return path, at the traffic scale typical of the test apps.
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_ettcp(int peer_vm) {
+  Phase stream_phase;
+  stream_phase.name = "tcp-stream";
+  stream_phase.work_units = 300.0;
+  stream_phase.nominal_rate = 1.0;
+  stream_phase.cpu_per_unit = 0.22;
+  stream_phase.cpu_user_fraction = 0.25;
+  stream_phase.net_out_per_unit = 12.0e6;
+  stream_phase.net_in_per_unit = 1.0e6;  // ACK stream
+  stream_phase.net_peer_vm = peer_vm;
+  stream_phase.rate_jitter = 0.10;
+  stream_phase.mem = detail::mem_profile(12.0, 0.1, 0.0, 0.0);
+  return std::make_unique<PhasedApp>("ettcp",
+                                     std::vector<Phase>{stream_phase});
+}
+
+}  // namespace appclass::workloads

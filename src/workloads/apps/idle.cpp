@@ -1,0 +1,18 @@
+// Idle — nothing but the guest OS's background daemons; the training
+// source for the idle class.
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_idle(double duration_seconds) {
+  Phase nothing;
+  nothing.name = "idle";
+  nothing.work_units = duration_seconds;
+  nothing.nominal_rate = 1.0;
+  nothing.rate_jitter = 0.0;
+  // Zero demand: only the VM's background daemons are visible.
+  return std::make_unique<PhasedApp>("idle", std::vector<Phase>{nothing});
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,42 @@
+// NetPIPE — protocol-independent network performance probe: a ping-pong
+// exchange whose message size ramps from bytes to megabytes (heavy
+// tick-to-tick spread), preceded by a short disk-bound setup phase (the
+// paper's NetPIPE row shows ~4% io and ~4% idle around a ~92% network
+// core).
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_netpipe(int peer_vm) {
+  // Short setup phase touching the filesystem (the paper's NetPIPE row
+  // shows ~4% I/O and ~4% idle around a 92% network core).
+  Phase setup;
+  setup.name = "setup";
+  setup.work_units = 12.0;
+  setup.nominal_rate = 1.0;
+  setup.cpu_per_unit = 0.08;
+  setup.read_blocks_per_unit = 3000.0;
+  setup.write_blocks_per_unit = 1100.0;
+  setup.io_sensitivity = 1.0;
+  setup.mem = detail::mem_profile(10.0, 0.05, 200.0, 0.1);
+
+  Phase pingpong;
+  pingpong.name = "ping-pong";
+  pingpong.work_units = 345.0;
+  pingpong.nominal_rate = 1.0;
+  pingpong.cpu_per_unit = 0.18;
+  pingpong.cpu_user_fraction = 0.30;
+  pingpong.net_in_per_unit = 35.0e6;
+  pingpong.net_out_per_unit = 35.0e6;
+  pingpong.net_peer_vm = peer_vm;
+  // Message sizes ramp from bytes to megabytes: heavy tick-to-tick spread.
+  pingpong.rate_jitter = 0.35;
+  pingpong.off_probability = 0.02;  // brief gaps between size sweeps
+  pingpong.mem = detail::mem_profile(10.0, 0.05, 0.0, 0.0);
+
+  return std::make_unique<PhasedApp>("netpipe",
+                                     std::vector<Phase>{setup, pingpong});
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,22 @@
+// Pagebench — the paper's synthetic trainer for the paging class:
+// initializes and updates an array larger than VM memory, generating a
+// steady swap stream.
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_pagebench(double array_mb) {
+  Phase walk;
+  walk.name = "array-walk";
+  walk.work_units = 220.0;
+  walk.nominal_rate = 1.0;
+  walk.cpu_per_unit = 0.45;
+  walk.cpu_user_fraction = 0.6;
+  walk.write_blocks_per_unit = 40.0;
+  walk.mem = detail::mem_profile(array_mb, 1.0, 0.0, 0.0);
+  walk.rate_jitter = 0.12;
+  return std::make_unique<PhasedApp>("pagebench", std::vector<Phase>{walk});
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,43 @@
+// PostMark — NetApp's small-file filesystem benchmark; the paper's
+// IO-intensive trainer and test app. Local-directory runs hammer the
+// virtual disk with mixed read/write transactions at a strongly varying
+// rate; NFS-mounted runs send the same transaction stream over the wire
+// and flip the run into the network class (the paper's PostMark_NFS row).
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_postmark(bool nfs_mounted) {
+  Phase txn;
+  txn.name = "transactions";
+  txn.work_units = 252.0;
+  txn.nominal_rate = 1.0;
+  txn.cpu_per_unit = 0.22;
+  txn.cpu_user_fraction = 0.25;
+  // Transaction phases come and go: the rate swings widely, which also
+  // gives the trained IO cluster spread toward moderate block rates.
+  txn.rate_jitter = 0.35;
+  txn.off_probability = 0.03;
+  txn.mem = detail::mem_profile(25.0, 0.3, 450.0, 0.12);
+  if (nfs_mounted) {
+    // Same transaction stream, but every file operation crosses the wire
+    // to the NFS server: the run flips from IO-intensive to
+    // network-intensive (paper's PostMark_NFS row).
+    txn.net_in_per_unit = 4.2e6;   // file reads come back over NFS
+    txn.net_out_per_unit = 4.8e6;  // writes + RPC traffic
+    txn.cpu_per_unit = 0.34;
+    txn.cpu_user_fraction = 0.25;
+    txn.work_units = 380.0;  // NFS latency stretches the run (77 samples)
+    txn.mem = detail::mem_profile(25.0, 0.3, 0.0, 0.0);
+    return std::make_unique<PhasedApp>("postmark_nfs",
+                                       std::vector<Phase>{txn});
+  }
+  txn.read_blocks_per_unit = 4200.0;
+  txn.write_blocks_per_unit = 4800.0;
+  // PostMark's nominal rate is already a measured-on-disk rate.
+  txn.io_sensitivity = 0.0;
+  return std::make_unique<PhasedApp>("postmark", std::vector<Phase>{txn});
+}
+
+}  // namespace appclass::workloads

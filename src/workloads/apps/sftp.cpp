@@ -1,0 +1,35 @@
+// sftp — encrypted upload of a 2 GB file: a short handshake/stat phase,
+// then a long network-bound transfer whose sequential source-file reads
+// hide behind readahead.
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_sftp() {
+  Phase handshake;
+  handshake.name = "handshake";
+  handshake.work_units = 5.0;
+  handshake.nominal_rate = 1.0;
+  handshake.cpu_per_unit = 0.15;
+  handshake.read_blocks_per_unit = 2200.0;  // key material, file stat pass
+  handshake.io_sensitivity = 1.0;
+  handshake.mem = detail::mem_profile(8.0, 0.05, 20.0, 0.1);
+
+  Phase transfer;
+  transfer.name = "transfer";
+  transfer.work_units = 225.0;
+  transfer.nominal_rate = 1.0;
+  transfer.cpu_per_unit = 0.22;       // encryption cost
+  transfer.cpu_user_fraction = 0.6;
+  transfer.net_out_per_unit = 11.0e6; // ~2 GB payload + protocol overhead
+  transfer.net_in_per_unit = 0.4e6;
+  transfer.read_blocks_per_unit = 1100.0;  // reading the source file
+  transfer.io_sensitivity = 0.1;           // sequential readahead hides disk
+  transfer.mem = detail::mem_profile(8.0, 0.05, 2048.0, 0.0);
+  transfer.rate_jitter = 0.12;
+  return std::make_unique<PhasedApp>(
+      "sftp", std::vector<Phase>{handshake, transfer});
+}
+
+}  // namespace appclass::workloads

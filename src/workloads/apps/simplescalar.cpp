@@ -1,0 +1,22 @@
+// SimpleScalar — processor microarchitecture simulator; the cleanest
+// CPU-intensive profile in Table 3 (100% cpu).
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_simplescalar(double work_seconds) {
+  Phase simulate;
+  simulate.name = "simulate";
+  simulate.work_units = work_seconds;
+  simulate.nominal_rate = 1.0;
+  simulate.cpu_per_unit = 1.0;
+  simulate.cpu_user_fraction = 0.985;
+  simulate.speed_sensitivity = 1.0;
+  simulate.mem = detail::mem_profile(55.0, 0.15, 15.0, 0.95);
+  simulate.rate_jitter = 0.03;
+  return std::make_unique<PhasedApp>("simplescalar",
+                                     std::vector<Phase>{simulate});
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,61 @@
+// SPECseis96 — seismic processing (SPEC HPG); the paper's CPU-intensive
+// exemplar and its environment-sensitivity case study. The model
+// alternates long compute stages (streaming cacheable trace reads) with
+// checkpoint I/O; in a memory-starved VM the page cache collapses, reads
+// hit disk, paging appears, and the run splits between the CPU and IO
+// classes exactly as the paper's A/B contrast shows.
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_specseis(SeisDataSize size) {
+  // Seismic processing alternates long compute stages with checkpoint I/O.
+  // The compute stage streams trace data: with a healthy page cache the
+  // re-reads are absorbed (run reads as CPU-intensive); in a small-memory
+  // VM the same reads hit disk and paging appears.
+  const sim::MemoryProfile mem =
+      size == SeisDataSize::kMedium
+          ? detail::mem_profile(/*ws=*/55.0, /*intensity=*/0.35, /*footprint=*/150.0,
+                        /*reuse=*/0.95)
+          : detail::mem_profile(/*ws=*/30.0, /*intensity=*/0.2, /*footprint=*/55.0,
+                        /*reuse=*/0.95);
+
+  Phase compute;
+  compute.name = "compute";
+  compute.work_units = size == SeisDataSize::kMedium ? 2050.0 : 62.0;
+  compute.nominal_rate = 1.0;
+  compute.cpu_per_unit = 1.0;
+  compute.cpu_user_fraction = 0.97;
+  compute.read_blocks_per_unit = 1400.0;  // streamed trace data (cacheable)
+  compute.write_blocks_per_unit =
+      size == SeisDataSize::kMedium ? 400.0 : 60.0;
+  compute.speed_sensitivity = 1.0;
+  compute.io_sensitivity = 0.42;
+  compute.mem = mem;
+  compute.rate_jitter = 0.05;
+
+  Phase checkpoint;
+  checkpoint.name = "checkpoint";
+  checkpoint.work_units = size == SeisDataSize::kMedium ? 15.0 : 4.0;
+  checkpoint.nominal_rate = 1.0;
+  checkpoint.cpu_per_unit = 0.22;
+  checkpoint.cpu_user_fraction = 0.45;
+  checkpoint.read_blocks_per_unit =
+      size == SeisDataSize::kMedium ? 1500.0 : 500.0;
+  checkpoint.write_blocks_per_unit =
+      size == SeisDataSize::kMedium ? 3800.0 : 1300.0;
+  checkpoint.speed_sensitivity = 0.1;
+  checkpoint.io_sensitivity = 1.0;
+  checkpoint.mem = mem;
+  checkpoint.rate_jitter = 0.15;
+
+  const int stages = size == SeisDataSize::kMedium ? 8 : 8;
+  const char* name =
+      size == SeisDataSize::kMedium ? "specseis_medium" : "specseis_small";
+  return std::make_unique<PhasedApp>(name, std::vector<Phase>{compute,
+                                                              checkpoint},
+                                     stages);
+}
+
+}  // namespace appclass::workloads

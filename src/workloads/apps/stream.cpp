@@ -1,0 +1,26 @@
+// STREAM — sustainable memory bandwidth benchmark. With vectors sized
+// past VM RAM, the sweep thrashes: kernel writeback and cache churn show
+// as block traffic on top of the swap stream, landing the run in the
+// paper's IO-and-paging group.
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_stream(double array_mb) {
+  Phase sweep;
+  sweep.name = "vector-sweep";
+  sweep.work_units = 210.0;
+  sweep.nominal_rate = 1.0;
+  sweep.cpu_per_unit = 0.55;
+  sweep.cpu_user_fraction = 0.85;
+  // Under memory pressure the kernel's writeback and cache churn show up
+  // as file-system block traffic on top of the swap stream.
+  sweep.read_blocks_per_unit = 3400.0;
+  sweep.write_blocks_per_unit = 1400.0;
+  sweep.mem = detail::mem_profile(array_mb, 0.22, 0.0, 0.0);
+  sweep.rate_jitter = 0.15;
+  return std::make_unique<PhasedApp>("stream", std::vector<Phase>{sweep});
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,46 @@
+// VMD — interactive molecular visualization over a VNC remote display.
+// A Markov session alternating think time (idle), input-file uploads
+// (disk + network-in), and GUI interaction (network-out) — Figure 3(d)'s
+// three-cluster mixture.
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_vmd(double session_seconds) {
+  // Figure 3(d): idle while the user thinks, IO-intensive while an input
+  // file is uploaded, network-intensive while the GUI streams over VNC.
+  ActivityState think;
+  think.name = "think";
+  think.mean_dwell_s = 45.0;
+  think.weight = 0.37;
+  think.cpu = 0.01;
+  think.mem = detail::mem_profile(90.0, 0.05, 0.0, 0.0);
+
+  ActivityState upload;
+  upload.name = "upload-input";
+  upload.mean_dwell_s = 40.0;
+  upload.weight = 0.40;
+  upload.cpu = 0.12;
+  upload.cpu_user_fraction = 0.3;
+  upload.read_blocks = 2600.0;
+  upload.write_blocks = 4200.0;
+  upload.net_in_bytes = 0.6e6;  // file arriving from the user's machine
+  upload.mem = detail::mem_profile(90.0, 0.1, 200.0, 0.1);
+
+  ActivityState vnc;
+  vnc.name = "vnc-interaction";
+  vnc.mean_dwell_s = 30.0;
+  vnc.weight = 0.23;
+  vnc.cpu = 0.18;
+  vnc.cpu_user_fraction = 0.6;
+  vnc.net_out_bytes = 12.0e6;  // remote-display frame stream
+  vnc.jitter = 0.15;
+  vnc.net_in_bytes = 0.3e6;    // mouse/keyboard events
+  vnc.mem = detail::mem_profile(110.0, 0.1, 0.0, 0.0);
+
+  return std::make_unique<InteractiveApp>(
+      "vmd", std::vector<ActivityState>{think, upload, vnc}, session_seconds);
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,31 @@
+// XSpim — MIPS assembly simulator with an X GUI; short interactive
+// session dominated by load/step disk activity with think-time gaps.
+#include "workloads/catalog.hpp"
+#include "workloads/detail.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_xspim(double session_seconds) {
+  ActivityState think;
+  think.name = "think";
+  think.mean_dwell_s = 10.0;
+  think.weight = 0.25;
+  think.cpu = 0.01;
+  think.mem = detail::mem_profile(20.0, 0.05, 0.0, 0.0);
+
+  ActivityState step_program;
+  step_program.name = "load-and-step";
+  step_program.mean_dwell_s = 18.0;
+  step_program.weight = 0.75;
+  step_program.cpu = 0.08;
+  step_program.cpu_user_fraction = 0.5;
+  step_program.read_blocks = 5200.0;
+  step_program.write_blocks = 2000.0;
+  step_program.mem = detail::mem_profile(20.0, 0.05, 80.0, 0.1);
+
+  return std::make_unique<InteractiveApp>(
+      "xspim", std::vector<ActivityState>{think, step_program},
+      session_seconds);
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,34 @@
+// Name-based registry over the per-application factories in
+// workloads/apps/ (one file per Table-2 program).
+#include "workloads/catalog.hpp"
+
+namespace appclass::workloads {
+
+ModelPtr make_by_name(const std::string& name, int peer_vm) {
+  if (name == "specseis_medium") return make_specseis(SeisDataSize::kMedium);
+  if (name == "specseis_small") return make_specseis(SeisDataSize::kSmall);
+  if (name == "postmark") return make_postmark(false);
+  if (name == "postmark_nfs") return make_postmark(true);
+  if (name == "pagebench") return make_pagebench();
+  if (name == "ettcp") return make_ettcp(peer_vm);
+  if (name == "netpipe") return make_netpipe(peer_vm);
+  if (name == "autobench") return make_autobench();
+  if (name == "sftp") return make_sftp();
+  if (name == "bonnie") return make_bonnie();
+  if (name == "stream") return make_stream();
+  if (name == "ch3d") return make_ch3d();
+  if (name == "simplescalar") return make_simplescalar();
+  if (name == "vmd") return make_vmd();
+  if (name == "xspim") return make_xspim();
+  if (name == "idle") return make_idle(300.0);
+  return nullptr;
+}
+
+std::vector<std::string> catalog_names() {
+  return {"specseis_medium", "specseis_small", "postmark", "postmark_nfs",
+          "pagebench",       "ettcp",          "netpipe",  "autobench",
+          "sftp",            "bonnie",         "stream",   "ch3d",
+          "simplescalar",    "vmd",            "xspim",    "idle"};
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,19 @@
+// Internal helpers shared by the per-application model files.
+#pragma once
+
+#include "sim/workload.hpp"
+
+namespace appclass::workloads::detail {
+
+/// Builds a MemoryProfile in one expression.
+inline sim::MemoryProfile mem_profile(double ws_mb, double intensity,
+                                      double footprint_mb, double reuse) {
+  sim::MemoryProfile m;
+  m.working_set_mb = ws_mb;
+  m.access_intensity = intensity;
+  m.file_footprint_mb = footprint_mb;
+  m.io_reuse = reuse;
+  return m;
+}
+
+}  // namespace appclass::workloads::detail

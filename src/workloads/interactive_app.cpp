@@ -1,0 +1,78 @@
+#include "workloads/interactive_app.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace appclass::workloads {
+
+InteractiveApp::InteractiveApp(std::string app_name,
+                               std::vector<ActivityState> states,
+                               double session_s)
+    : name_(std::move(app_name)),
+      states_(std::move(states)),
+      session_remaining_s_(session_s) {
+  APPCLASS_EXPECTS(!states_.empty());
+  APPCLASS_EXPECTS(session_s > 0.0);
+  for (const auto& s : states_) {
+    APPCLASS_EXPECTS(s.mean_dwell_s > 0.0);
+    APPCLASS_EXPECTS(s.weight >= 0.0);
+  }
+}
+
+void InteractiveApp::maybe_transition(linalg::Rng& rng) {
+  if (!dwell_initialized_) {
+    dwell_remaining_s_ = rng.exponential(1.0 / states_[0].mean_dwell_s);
+    dwell_initialized_ = true;
+    return;
+  }
+  if (dwell_remaining_s_ > 0.0) return;
+  // Weighted choice of the next state (self-transitions allowed — they just
+  // extend the stay).
+  double total = 0.0;
+  for (const auto& s : states_) total += s.weight;
+  APPCLASS_ASSERT(total > 0.0);
+  double x = rng.uniform(0.0, total);
+  std::size_t next = states_.size() - 1;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (x < states_[i].weight) {
+      next = i;
+      break;
+    }
+    x -= states_[i].weight;
+  }
+  state_index_ = next;
+  dwell_remaining_s_ = rng.exponential(1.0 / states_[next].mean_dwell_s);
+}
+
+sim::AppDemand InteractiveApp::demand(sim::SimTime /*now*/, linalg::Rng& rng) {
+  sim::AppDemand d;
+  if (finished()) return d;
+  maybe_transition(rng);
+  const ActivityState& s = states_[state_index_];
+  const double scale = s.jitter > 0.0 ? rng.lognormal(0.0, s.jitter) : 1.0;
+  d.cpu = s.cpu * scale;
+  d.cpu_user_fraction = s.cpu_user_fraction;
+  d.disk_read_blocks = s.read_blocks * scale;
+  d.disk_write_blocks = s.write_blocks * scale;
+  d.net_in_bytes = s.net_in_bytes * scale;
+  d.net_out_bytes = s.net_out_bytes * scale;
+  d.net_peer_vm = s.net_peer_vm;
+  return d;
+}
+
+void InteractiveApp::advance(const sim::Grant& /*grant*/, sim::SimTime /*now*/,
+                             linalg::Rng& /*rng*/) {
+  // Interactive sessions progress with wall-clock time, not with granted
+  // resources — a slow VM just feels sluggish to the user.
+  session_remaining_s_ -= 1.0;
+  dwell_remaining_s_ -= 1.0;
+}
+
+bool InteractiveApp::finished() const { return session_remaining_s_ <= 0.0; }
+
+sim::MemoryProfile InteractiveApp::memory() const {
+  return finished() ? sim::MemoryProfile{} : states_[state_index_].mem;
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,65 @@
+// Interactive-session application model.
+//
+// User-interactive programs (the paper's VMD and XSpim rows) do not march
+// through fixed phases: they hop between activity states — thinking (idle),
+// uploading input files (I/O), driving a remote display (network) — with
+// random dwell times. This model is a continuous-time Markov chain over
+// such states, run for a fixed session length.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+
+namespace appclass::workloads {
+
+/// One activity state of an interactive session.
+struct ActivityState {
+  std::string name;
+  /// Mean dwell time in this state, seconds (exponentially distributed).
+  double mean_dwell_s = 30.0;
+  /// Relative probability of entering this state on a transition.
+  double weight = 1.0;
+
+  // Demand while in the state (same units as sim::AppDemand).
+  double cpu = 0.0;
+  double cpu_user_fraction = 0.9;
+  double read_blocks = 0.0;
+  double write_blocks = 0.0;
+  double net_in_bytes = 0.0;
+  double net_out_bytes = 0.0;
+  int net_peer_vm = sim::AppDemand::kExternalPeer;
+  /// Lognormal sigma on each tick's demand scale.
+  double jitter = 0.25;
+
+  sim::MemoryProfile mem;
+};
+
+class InteractiveApp final : public sim::WorkloadModel {
+ public:
+  /// `session_s` is the total session duration; the app starts in state 0.
+  InteractiveApp(std::string app_name, std::vector<ActivityState> states,
+                 double session_s);
+
+  std::string_view name() const override { return name_; }
+  sim::AppDemand demand(sim::SimTime now, linalg::Rng& rng) override;
+  void advance(const sim::Grant& grant, sim::SimTime now,
+               linalg::Rng& rng) override;
+  bool finished() const override;
+  sim::MemoryProfile memory() const override;
+
+  std::size_t current_state() const noexcept { return state_index_; }
+
+ private:
+  void maybe_transition(linalg::Rng& rng);
+
+  std::string name_;
+  std::vector<ActivityState> states_;
+  double session_remaining_s_;
+  std::size_t state_index_ = 0;
+  double dwell_remaining_s_ = 0.0;
+  bool dwell_initialized_ = false;
+};
+
+}  // namespace appclass::workloads

@@ -1,0 +1,101 @@
+#include "workloads/phased_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace appclass::workloads {
+
+PhasedApp::PhasedApp(std::string app_name, std::vector<Phase> phases,
+                     int iterations)
+    : name_(std::move(app_name)),
+      phases_(std::move(phases)),
+      iterations_left_(iterations) {
+  APPCLASS_EXPECTS(!phases_.empty());
+  APPCLASS_EXPECTS(iterations >= 1);
+  for (const auto& p : phases_) {
+    APPCLASS_EXPECTS(p.work_units > 0.0);
+    APPCLASS_EXPECTS(p.nominal_rate > 0.0);
+  }
+}
+
+sim::AppDemand PhasedApp::demand(sim::SimTime /*now*/, linalg::Rng& rng) {
+  sim::AppDemand d;
+  if (done_) {
+    attempted_rate_ = 0.0;
+    return d;
+  }
+  const Phase& p = phase();
+  double rate = p.nominal_rate;
+  if (p.rate_jitter > 0.0) rate *= rng.lognormal(0.0, p.rate_jitter);
+  if (p.off_probability > 0.0 && rng.bernoulli(p.off_probability)) rate = 0.0;
+
+  // Latency stalls (cache misses, paging) make execution bimodal: the
+  // process alternates between full-speed work ticks and I/O-wait ticks in
+  // which it drains queued blocks at disk speed while barely touching the
+  // CPU. This alternation is what lets one SPECseis96 parameterization
+  // read as CPU-intensive in a large-memory VM and split between the CPU
+  // and IO classes in a small one (the paper's A/B contrast).
+  if (stall_probability_ > 0.0 && rng.bernoulli(stall_probability_)) {
+    attempted_rate_ = 0.0;  // no forward progress while blocked
+    constexpr double kStallCpuFraction = 0.12;
+    constexpr double kStallIoBurst = 2.5;
+    d.cpu = kStallCpuFraction * rate * p.cpu_per_unit;
+    d.cpu_user_fraction = 0.2;  // mostly kernel time while waiting
+    d.disk_read_blocks = kStallIoBurst * rate * p.read_blocks_per_unit;
+    d.disk_write_blocks = kStallIoBurst * rate * p.write_blocks_per_unit;
+    return d;
+  }
+
+  // Never attempt more than what's left in the phase.
+  rate = std::min(rate, p.work_units - progress_);
+  attempted_rate_ = std::max(rate, 0.0);
+
+  d.cpu = attempted_rate_ * p.cpu_per_unit;
+  d.cpu_user_fraction = p.cpu_user_fraction;
+  d.disk_read_blocks = attempted_rate_ * p.read_blocks_per_unit;
+  d.disk_write_blocks = attempted_rate_ * p.write_blocks_per_unit;
+  d.net_in_bytes = attempted_rate_ * p.net_in_per_unit;
+  d.net_out_bytes = attempted_rate_ * p.net_out_per_unit;
+  d.net_peer_vm = p.net_peer_vm;
+  return d;
+}
+
+void PhasedApp::advance(const sim::Grant& grant, sim::SimTime /*now*/,
+                        linalg::Rng& /*rng*/) {
+  if (done_) return;
+  const Phase& p = phase();
+  // Update the stall probability for the next tick from this tick's
+  // latency feedback. Capped below 1 so a brutally thrashing app still
+  // makes (slow) forward progress.
+  const double io_mult = 1.0 - p.io_sensitivity * (1.0 - grant.io_penalty);
+  const double latency_mult = std::max(io_mult * grant.paging_penalty, 0.05);
+  stall_probability_ = std::clamp(1.0 - latency_mult, 0.0, 0.95);
+  if (attempted_rate_ <= 0.0) return;
+  // Latency stalls surface as whole stalled ticks (see demand()); work
+  // ticks run at full speed scaled by the allocator's share and host speed.
+  const double speed_mult =
+      1.0 + p.speed_sensitivity * (grant.cpu_speed - 1.0);
+  progress_ += attempted_rate_ * std::max(grant.fraction * speed_mult, 0.0);
+  attempted_rate_ = 0.0;
+  if (progress_ >= phase().work_units - 1e-9) next_phase();
+}
+
+void PhasedApp::next_phase() {
+  progress_ = 0.0;
+  stall_probability_ = 0.0;
+  ++phase_index_;
+  if (phase_index_ >= phases_.size()) {
+    phase_index_ = 0;
+    if (--iterations_left_ <= 0) done_ = true;
+  }
+}
+
+bool PhasedApp::finished() const { return done_; }
+
+sim::MemoryProfile PhasedApp::memory() const {
+  return done_ ? sim::MemoryProfile{} : phase().mem;
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,117 @@
+#include "workloads/trace_replay.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace appclass::workloads {
+
+std::string trace_to_csv(const DemandTrace& trace) {
+  std::ostringstream os;
+  os << "# appclass-demand-trace v1 app=" << trace.app_name << '\n';
+  os << "cpu,cpu_user_fraction,disk_read_blocks,disk_write_blocks,"
+        "net_in_bytes,net_out_bytes,net_peer_vm,"
+        "working_set_mb,access_intensity,file_footprint_mb,io_reuse\n";
+  os.precision(17);
+  for (const auto& t : trace.ticks) {
+    os << t.demand.cpu << ',' << t.demand.cpu_user_fraction << ','
+       << t.demand.disk_read_blocks << ',' << t.demand.disk_write_blocks
+       << ',' << t.demand.net_in_bytes << ',' << t.demand.net_out_bytes
+       << ',' << t.demand.net_peer_vm << ',' << t.memory.working_set_mb
+       << ',' << t.memory.access_intensity << ','
+       << t.memory.file_footprint_mb << ',' << t.memory.io_reuse << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+double parse_field(const std::string& line, std::size_t& pos) {
+  const std::size_t end = line.find(',', pos);
+  const std::size_t len =
+      (end == std::string::npos ? line.size() : end) - pos;
+  double v = 0.0;
+  const char* begin = line.data() + pos;
+  const auto [p, ec] = std::from_chars(begin, begin + len, v);
+  if (ec != std::errc{} || p != begin + len)
+    throw std::runtime_error("demand trace: bad numeric field in '" + line +
+                             "'");
+  pos = end == std::string::npos ? line.size() : end + 1;
+  return v;
+}
+
+}  // namespace
+
+DemandTrace trace_from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line) ||
+      line.rfind("# appclass-demand-trace v1", 0) != 0)
+    throw std::runtime_error("demand trace: bad header");
+  DemandTrace trace;
+  const auto app_pos = line.find("app=");
+  if (app_pos != std::string::npos)
+    trace.app_name = line.substr(app_pos + 4);
+  if (!std::getline(is, line))
+    throw std::runtime_error("demand trace: missing column header");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    TraceRecord t;
+    std::size_t pos = 0;
+    t.demand.cpu = parse_field(line, pos);
+    t.demand.cpu_user_fraction = parse_field(line, pos);
+    t.demand.disk_read_blocks = parse_field(line, pos);
+    t.demand.disk_write_blocks = parse_field(line, pos);
+    t.demand.net_in_bytes = parse_field(line, pos);
+    t.demand.net_out_bytes = parse_field(line, pos);
+    t.demand.net_peer_vm = static_cast<int>(parse_field(line, pos));
+    t.memory.working_set_mb = parse_field(line, pos);
+    t.memory.access_intensity = parse_field(line, pos);
+    t.memory.file_footprint_mb = parse_field(line, pos);
+    t.memory.io_reuse = parse_field(line, pos);
+    trace.ticks.push_back(t);
+  }
+  return trace;
+}
+
+TraceRecorder::TraceRecorder(std::unique_ptr<sim::WorkloadModel> inner)
+    : inner_(std::move(inner)) {
+  APPCLASS_EXPECTS(inner_ != nullptr);
+  trace_.app_name = std::string(inner_->name());
+}
+
+sim::AppDemand TraceRecorder::demand(sim::SimTime now, linalg::Rng& rng) {
+  const sim::AppDemand d = inner_->demand(now, rng);
+  trace_.ticks.push_back(TraceRecord{d, inner_->memory()});
+  return d;
+}
+
+void TraceRecorder::advance(const sim::Grant& grant, sim::SimTime now,
+                            linalg::Rng& rng) {
+  inner_->advance(grant, now, rng);
+}
+
+TraceReplayApp::TraceReplayApp(DemandTrace trace)
+    : name_("replay:" + trace.app_name), trace_(std::move(trace)) {
+  APPCLASS_EXPECTS(!trace_.empty());
+}
+
+sim::AppDemand TraceReplayApp::demand(sim::SimTime /*now*/,
+                                      linalg::Rng& /*rng*/) {
+  if (finished()) return {};
+  return trace_.ticks[position_].demand;
+}
+
+void TraceReplayApp::advance(const sim::Grant& /*grant*/,
+                             sim::SimTime /*now*/, linalg::Rng& /*rng*/) {
+  if (!finished()) ++position_;
+}
+
+sim::MemoryProfile TraceReplayApp::memory() const {
+  if (finished()) return {};
+  return trace_.ticks[position_].memory;
+}
+
+}  // namespace appclass::workloads

@@ -1,0 +1,84 @@
+// Demand-trace recording and replay.
+//
+// The synthetic Table-2 models approximate the paper's benchmarks; when a
+// *real* application trace is available (e.g. converted from sar/vmstat
+// logs of a production run), it can drive the simulator directly. A
+// `DemandTrace` is a per-second sequence of resource demands; the
+// `TraceRecorder` captures one from any running model, and the
+// `TraceReplayApp` plays one back as a first-class workload. Traces
+// round-trip through CSV for archival.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+
+namespace appclass::workloads {
+
+/// One recorded tick of application demand.
+struct TraceRecord {
+  sim::AppDemand demand;
+  sim::MemoryProfile memory;
+};
+
+/// A per-second demand trace.
+struct DemandTrace {
+  std::string app_name;
+  std::vector<TraceRecord> ticks;
+
+  std::size_t size() const noexcept { return ticks.size(); }
+  bool empty() const noexcept { return ticks.empty(); }
+};
+
+/// Serializes a trace to CSV (one row per tick).
+std::string trace_to_csv(const DemandTrace& trace);
+
+/// Parses a trace written by `trace_to_csv`. Throws std::runtime_error on
+/// malformed input.
+DemandTrace trace_from_csv(const std::string& csv);
+
+/// Wraps a model, recording its demand/memory each tick while delegating
+/// all behaviour. Retrieve the trace after the run.
+class TraceRecorder final : public sim::WorkloadModel {
+ public:
+  explicit TraceRecorder(std::unique_ptr<sim::WorkloadModel> inner);
+
+  std::string_view name() const override { return inner_->name(); }
+  sim::AppDemand demand(sim::SimTime now, linalg::Rng& rng) override;
+  void advance(const sim::Grant& grant, sim::SimTime now,
+               linalg::Rng& rng) override;
+  bool finished() const override { return inner_->finished(); }
+  sim::MemoryProfile memory() const override { return inner_->memory(); }
+
+  const DemandTrace& trace() const noexcept { return trace_; }
+
+ private:
+  std::unique_ptr<sim::WorkloadModel> inner_;
+  DemandTrace trace_;
+};
+
+/// Replays a recorded trace tick by tick. The app finishes when the trace
+/// is exhausted (progress is wall-clock, like the interactive model: a
+/// trace is a fixed-duration recording).
+class TraceReplayApp final : public sim::WorkloadModel {
+ public:
+  explicit TraceReplayApp(DemandTrace trace);
+
+  std::string_view name() const override { return name_; }
+  sim::AppDemand demand(sim::SimTime now, linalg::Rng& rng) override;
+  void advance(const sim::Grant& grant, sim::SimTime now,
+               linalg::Rng& rng) override;
+  bool finished() const override { return position_ >= trace_.size(); }
+  sim::MemoryProfile memory() const override;
+
+  std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::string name_;
+  DemandTrace trace_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace appclass::workloads

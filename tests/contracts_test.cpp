@@ -1,0 +1,84 @@
+// Contract-violation death tests: the APPCLASS_EXPECTS guards must abort
+// with a diagnostic instead of silently corrupting state.
+#include <gtest/gtest.h>
+
+#include "core/knn.hpp"
+#include "core/pca.hpp"
+#include "core/preprocess.hpp"
+#include "linalg/matrix.hpp"
+#include "sim/engine.hpp"
+#include "workloads/phased_app.hpp"
+
+namespace appclass {
+namespace {
+
+TEST(Contracts, MatrixOutOfBoundsAborts) {
+  const linalg::Matrix m(2, 2);
+  EXPECT_DEATH((void)m.at(2, 0), "precondition");
+  EXPECT_DEATH((void)m.at(0, 2), "precondition");
+}
+
+TEST(Contracts, MatrixShapeMismatchAborts) {
+  const linalg::Matrix a(2, 3);
+  const linalg::Matrix b(2, 3);
+  EXPECT_DEATH((void)a.multiply(b), "precondition");
+}
+
+TEST(Contracts, KnnRequiresOddK) {
+  EXPECT_DEATH(core::KnnClassifier(core::KnnOptions{.k = 2}), "precondition");
+}
+
+TEST(Contracts, KnnTrainRequiresMatchingLabels) {
+  core::KnnClassifier knn;
+  linalg::Matrix points(4, 2);
+  std::vector<core::ApplicationClass> labels(3, core::ApplicationClass::kCpu);
+  EXPECT_DEATH(knn.train(std::move(points), std::move(labels)),
+               "precondition");
+}
+
+TEST(Contracts, UntrainedKnnClassifyAborts) {
+  const core::KnnClassifier knn;
+  EXPECT_DEATH((void)knn.classify(std::vector<double>{0.0}), "precondition");
+}
+
+TEST(Contracts, UnfittedPreprocessorTransformAborts) {
+  const core::Preprocessor pre;
+  EXPECT_DEATH((void)pre.stats(), "precondition");
+}
+
+TEST(Contracts, UnfittedPcaAborts) {
+  const core::Pca pca;
+  EXPECT_DEATH((void)pca.components(), "precondition");
+}
+
+TEST(Contracts, PcaRequiresTwoSamples) {
+  core::Pca pca;
+  const linalg::Matrix one_row(1, 3);
+  EXPECT_DEATH(pca.fit(one_row), "precondition");
+}
+
+TEST(Contracts, EngineRejectsBadIds) {
+  sim::Engine engine(1);
+  EXPECT_DEATH((void)engine.instance(0), "precondition");
+  EXPECT_DEATH((void)engine.add_vm(0, sim::VmSpec{}), "precondition");
+}
+
+TEST(Contracts, EngineRejectsNullModel) {
+  sim::Engine engine(1);
+  const auto host = engine.add_host(sim::HostSpec{});
+  const auto vm = engine.add_vm(host, sim::VmSpec{.name = "v", .ip = "i"});
+  EXPECT_DEATH((void)engine.submit(vm, nullptr), "precondition");
+}
+
+TEST(Contracts, PhasedAppRejectsEmptyPhaseList) {
+  EXPECT_DEATH(workloads::PhasedApp("x", {}), "precondition");
+}
+
+TEST(Contracts, PhasedAppRejectsNonPositiveWork) {
+  workloads::Phase p;
+  p.work_units = 0.0;
+  EXPECT_DEATH(workloads::PhasedApp("x", {p}), "precondition");
+}
+
+}  // namespace
+}  // namespace appclass

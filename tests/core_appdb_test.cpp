@@ -1,0 +1,115 @@
+#include "core/appdb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace appclass::core {
+namespace {
+
+RunRecord make_run(const std::string& app, const std::string& config,
+                   ApplicationClass cls, std::int64_t elapsed,
+                   double dominant_fraction = 0.9) {
+  RunRecord r;
+  r.application = app;
+  r.config = config;
+  std::array<double, kClassCount> fr{};
+  fr[index_of(cls)] = dominant_fraction;
+  fr[index_of(ApplicationClass::kIdle)] += 1.0 - dominant_fraction;
+  r.composition = ClassComposition::from_fractions(fr, 100);
+  r.application_class = cls;
+  r.elapsed_seconds = elapsed;
+  r.samples = 100;
+  return r;
+}
+
+TEST(AppDb, RecordAndCount) {
+  ApplicationDatabase db;
+  EXPECT_EQ(db.size(), 0u);
+  db.record(make_run("postmark", "vm1", ApplicationClass::kIo, 260));
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(AppDb, ProfileAggregatesRuns) {
+  ApplicationDatabase db;
+  db.record(make_run("postmark", "vm1", ApplicationClass::kIo, 250, 0.9));
+  db.record(make_run("postmark", "vm1", ApplicationClass::kIo, 270, 0.8));
+  const auto p = db.profile("postmark", "vm1");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->runs, 2u);
+  EXPECT_DOUBLE_EQ(p->elapsed.mean(), 260.0);
+  EXPECT_DOUBLE_EQ(p->mean_fractions[index_of(ApplicationClass::kIo)], 0.85);
+  EXPECT_EQ(p->typical_class, ApplicationClass::kIo);
+}
+
+TEST(AppDb, TypicalClassIsModeAcrossRuns) {
+  ApplicationDatabase db;
+  db.record(make_run("specseis", "32MB", ApplicationClass::kCpu, 25000));
+  db.record(make_run("specseis", "32MB", ApplicationClass::kIo, 26000));
+  db.record(make_run("specseis", "32MB", ApplicationClass::kIo, 25500));
+  EXPECT_EQ(db.typical_class("specseis", "32MB"), ApplicationClass::kIo);
+}
+
+TEST(AppDb, ConfigKeySeparatesEnvironments) {
+  // The paper's key insight: the same binary can belong to different
+  // classes under different execution environments.
+  ApplicationDatabase db;
+  db.record(make_run("specseis", "256MB", ApplicationClass::kCpu, 17500));
+  db.record(make_run("specseis", "32MB", ApplicationClass::kIo, 25600));
+  EXPECT_EQ(db.typical_class("specseis", "256MB"), ApplicationClass::kCpu);
+  EXPECT_EQ(db.typical_class("specseis", "32MB"), ApplicationClass::kIo);
+}
+
+TEST(AppDb, UnknownPairReturnsNullopt) {
+  const ApplicationDatabase db;
+  EXPECT_FALSE(db.profile("nope", "cfg").has_value());
+  EXPECT_FALSE(db.typical_class("nope", "cfg").has_value());
+}
+
+TEST(AppDb, AllProfilesListsDistinctPairs) {
+  ApplicationDatabase db;
+  db.record(make_run("a", "c1", ApplicationClass::kCpu, 10));
+  db.record(make_run("a", "c1", ApplicationClass::kCpu, 12));
+  db.record(make_run("a", "c2", ApplicationClass::kIo, 20));
+  db.record(make_run("b", "c1", ApplicationClass::kIdle, 30));
+  const auto profiles = db.all_profiles();
+  EXPECT_EQ(profiles.size(), 3u);
+}
+
+TEST(AppDb, CsvRoundTrip) {
+  ApplicationDatabase db;
+  db.record(make_run("postmark", "vm1-256MB", ApplicationClass::kIo, 260));
+  db.record(make_run("vmd", "vm1-256MB", ApplicationClass::kIdle, 430, 0.4));
+  const std::string csv = db.to_csv();
+  const ApplicationDatabase restored = ApplicationDatabase::from_csv(csv);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.runs()[0].application, "postmark");
+  EXPECT_EQ(restored.runs()[1].application_class, ApplicationClass::kIdle);
+  EXPECT_EQ(restored.runs()[0].elapsed_seconds, 260);
+  EXPECT_NEAR(
+      restored.runs()[0].composition.fraction(ApplicationClass::kIo), 0.9,
+      1e-9);
+}
+
+TEST(AppDb, CsvRejectsGarbage) {
+  EXPECT_THROW(ApplicationDatabase::from_csv(""), std::runtime_error);
+  EXPECT_THROW(ApplicationDatabase::from_csv("header\nonly,two\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      ApplicationDatabase::from_csv(
+          "h\napp,cfg,wrongclass,1,1,0,0,0,0,0\n"),
+      std::runtime_error);
+}
+
+TEST(AppDb, ElapsedStatsTrackSpread) {
+  ApplicationDatabase db;
+  db.record(make_run("a", "c", ApplicationClass::kCpu, 100));
+  db.record(make_run("a", "c", ApplicationClass::kCpu, 200));
+  const auto p = db.profile("a", "c");
+  EXPECT_DOUBLE_EQ(p->elapsed.min(), 100.0);
+  EXPECT_DOUBLE_EQ(p->elapsed.max(), 200.0);
+  EXPECT_DOUBLE_EQ(p->elapsed.stddev(), 50.0);
+}
+
+}  // namespace
+}  // namespace appclass::core

@@ -1,0 +1,80 @@
+#include "core/composition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace appclass::core {
+namespace {
+
+TEST(Composition, FractionsSumToOne) {
+  const std::vector<ApplicationClass> classes = {
+      ApplicationClass::kCpu, ApplicationClass::kCpu, ApplicationClass::kIo,
+      ApplicationClass::kIdle};
+  const ClassComposition comp(classes);
+  double sum = 0.0;
+  for (double f : comp.fractions()) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(comp.fraction(ApplicationClass::kCpu), 0.5);
+  EXPECT_DOUBLE_EQ(comp.fraction(ApplicationClass::kIo), 0.25);
+  EXPECT_EQ(comp.samples(), 4u);
+}
+
+TEST(Composition, DominantIsMajority) {
+  const std::vector<ApplicationClass> classes = {
+      ApplicationClass::kNetwork, ApplicationClass::kNetwork,
+      ApplicationClass::kIdle};
+  EXPECT_EQ(ClassComposition(classes).dominant(), ApplicationClass::kNetwork);
+}
+
+TEST(Composition, EmptyHasZeroSamples) {
+  const ClassComposition comp;
+  EXPECT_EQ(comp.samples(), 0u);
+  EXPECT_EQ(comp.to_string(), "(no samples)");
+}
+
+TEST(Composition, ToStringOmitsZeroClasses) {
+  const std::vector<ApplicationClass> classes = {ApplicationClass::kCpu};
+  const std::string s = ClassComposition(classes).to_string();
+  EXPECT_NE(s.find("cpu 100.00%"), std::string::npos);
+  EXPECT_EQ(s.find("io"), std::string::npos);
+}
+
+TEST(Composition, FromFractionsRoundTrips) {
+  const std::vector<ApplicationClass> classes = {
+      ApplicationClass::kIo, ApplicationClass::kMemory, ApplicationClass::kIo};
+  const ClassComposition original(classes);
+  std::array<double, kClassCount> fr{};
+  for (std::size_t c = 0; c < kClassCount; ++c)
+    fr[c] = original.fractions()[c];
+  const auto restored = ClassComposition::from_fractions(fr, 3);
+  EXPECT_EQ(restored.samples(), 3u);
+  EXPECT_EQ(restored.dominant(), ApplicationClass::kIo);
+}
+
+TEST(MajorityVote, PicksMode) {
+  const std::vector<ApplicationClass> classes = {
+      ApplicationClass::kIdle, ApplicationClass::kMemory,
+      ApplicationClass::kMemory};
+  EXPECT_EQ(majority_vote(classes), ApplicationClass::kMemory);
+}
+
+TEST(MajorityVote, TieIsDeterministic) {
+  const std::vector<ApplicationClass> a = {ApplicationClass::kCpu,
+                                           ApplicationClass::kIo};
+  const std::vector<ApplicationClass> b = {ApplicationClass::kIo,
+                                           ApplicationClass::kCpu};
+  // Ties resolve by enum order, independent of input order.
+  EXPECT_EQ(majority_vote(a), majority_vote(b));
+}
+
+TEST(ClassLabels, NamesRoundTrip) {
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    const auto cls = class_from_index(c);
+    const auto parsed = class_from_string(to_string(cls));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, cls);
+  }
+  EXPECT_FALSE(class_from_string("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace appclass::core

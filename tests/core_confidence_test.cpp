@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core_test_util.hpp"
+
+namespace appclass::core {
+namespace {
+
+TEST(Confidence, UnanimousNeighbourhoodScoresOne) {
+  linalg::Matrix points{{0, 0}, {0.1, 0}, {-0.1, 0}, {10, 0}, {10.1, 0},
+                        {9.9, 0}};
+  std::vector<ApplicationClass> labels = {
+      ApplicationClass::kCpu, ApplicationClass::kCpu, ApplicationClass::kCpu,
+      ApplicationClass::kIo,  ApplicationClass::kIo,  ApplicationClass::kIo};
+  KnnClassifier knn;
+  knn.train(points, labels);
+  const auto deep = knn.classify_with_confidence(std::vector<double>{0, 0});
+  EXPECT_EQ(deep.label, ApplicationClass::kCpu);
+  EXPECT_DOUBLE_EQ(deep.confidence, 1.0);
+}
+
+TEST(Confidence, BoundaryPointScoresLower) {
+  linalg::Matrix points{{0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}};
+  std::vector<ApplicationClass> labels = {
+      ApplicationClass::kCpu, ApplicationClass::kCpu, ApplicationClass::kIo,
+      ApplicationClass::kIo};
+  KnnClassifier knn;
+  knn.train(points, labels);
+  // k=3 near the midpoint: 2 of one class, 1 of the other -> 2/3.
+  const auto mid = knn.classify_with_confidence(std::vector<double>{4.9, 0});
+  EXPECT_DOUBLE_EQ(mid.confidence, 2.0 / 3.0);
+}
+
+TEST(Confidence, ConfidenceMatchesPlainClassify) {
+  KnnClassifier knn;
+  linalg::Rng rng(4);
+  linalg::Matrix points(30, 2);
+  std::vector<ApplicationClass> labels;
+  for (std::size_t i = 0; i < 30; ++i) {
+    points(i, 0) = rng.uniform(-5.0, 5.0);
+    points(i, 1) = rng.uniform(-5.0, 5.0);
+    labels.push_back(i % 2 == 0 ? ApplicationClass::kCpu
+                                : ApplicationClass::kNetwork);
+  }
+  knn.train(points, labels);
+  for (int t = 0; t < 40; ++t) {
+    const std::vector<double> q = {rng.uniform(-5.0, 5.0),
+                                   rng.uniform(-5.0, 5.0)};
+    EXPECT_EQ(knn.classify(q), knn.classify_with_confidence(q).label);
+  }
+}
+
+TEST(Confidence, PipelineReportsPerSnapshotConfidence) {
+  ClassificationPipeline pipeline;
+  pipeline.train(testing::synthetic_training());
+  const auto pool = testing::synthetic_pool(ApplicationClass::kIo, 20, 77);
+  const auto result = pipeline.classify(pool);
+  ASSERT_EQ(result.confidences.size(), 20u);
+  for (const double c : result.confidences) {
+    EXPECT_GT(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+  // Clean synthetic clusters: nearly every snapshot unanimous.
+  EXPECT_GT(result.mean_confidence, 0.9);
+}
+
+TEST(Confidence, AmbiguousPoolScoresLowerThanCleanPool) {
+  ClassificationPipeline pipeline;
+  pipeline.train(testing::synthetic_training());
+
+  const auto clean = testing::synthetic_pool(ApplicationClass::kCpu, 30, 5);
+  // Points halfway between the io and memory prototypes are ambiguous.
+  metrics::DataPool murky("10.0.0.1");
+  linalg::Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    auto a = testing::synthetic_snapshot(ApplicationClass::kIo, rng, 5 * i);
+    const auto b =
+        testing::synthetic_snapshot(ApplicationClass::kMemory, rng, 5 * i);
+    for (std::size_t m = 0; m < metrics::kMetricCount; ++m)
+      a.values[m] = 0.5 * (a.values[m] + b.values[m]);
+    murky.add(a);
+  }
+  EXPECT_GT(pipeline.classify(clean).mean_confidence,
+            pipeline.classify(murky).mean_confidence);
+}
+
+}  // namespace
+}  // namespace appclass::core

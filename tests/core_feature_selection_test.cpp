@@ -1,0 +1,120 @@
+#include "core/feature_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core_test_util.hpp"
+
+namespace appclass::core {
+namespace {
+
+using metrics::MetricId;
+
+LabeledSnapshots synthetic_data(std::size_t per_class = 40) {
+  return flatten(testing::synthetic_training(per_class));
+}
+
+bool contains(const std::vector<MetricId>& v, MetricId id) {
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+TEST(FeatureSelection, RankingIsSortedDescending) {
+  const auto ranked = rank_features(synthetic_data());
+  EXPECT_EQ(ranked.size(), metrics::kMetricCount);
+  for (std::size_t i = 0; i + 1 < ranked.size(); ++i)
+    EXPECT_GE(ranked[i].relevance, ranked[i + 1].relevance);
+}
+
+TEST(FeatureSelection, DiscriminativeMetricsRankAboveConstantOnes) {
+  const auto ranked = rank_features(synthetic_data());
+  double cpu_user_rel = -1.0, mtu_rel = -1.0;
+  for (const auto& fs : ranked) {
+    if (fs.metric == MetricId::kCpuUser) cpu_user_rel = fs.relevance;
+    if (fs.metric == MetricId::kMtu) mtu_rel = fs.relevance;
+  }
+  EXPECT_GT(cpu_user_rel, 100.0);  // strongly class-separating
+  EXPECT_DOUBLE_EQ(mtu_rel, 0.0);  // constant in the synthetic data
+}
+
+TEST(FeatureSelection, RedundancyOfPerfectlyCorrelatedPair) {
+  // In the synthetic memory class, swap_in == io_bi in distribution;
+  // test a literally duplicated pair instead for an exact answer.
+  LabeledSnapshots data = synthetic_data();
+  for (auto& s : data.snapshots)
+    s.set(MetricId::kPktsIn, 2.0 * s.get(MetricId::kBytesIn) + 1.0);
+  EXPECT_NEAR(
+      feature_redundancy(data, MetricId::kBytesIn, MetricId::kPktsIn), 1.0,
+      1e-9);
+}
+
+TEST(FeatureSelection, SelectsRequestedCount) {
+  // Without the redundancy filter the greedy pass fills the quota exactly.
+  const auto selected = select_features(
+      synthetic_data(), {.target_count = 6, .max_redundancy = 1.01});
+  EXPECT_EQ(selected.size(), 6u);
+}
+
+TEST(FeatureSelection, RedundancyFilterMayReturnFewer) {
+  // The synthetic data has 8 informative metrics in 4 tightly correlated
+  // pairs; with a strict filter, fewer than the target survive.
+  const auto selected = select_features(
+      synthetic_data(), {.target_count = 8, .max_redundancy = 0.95});
+  EXPECT_GE(selected.size(), 3u);
+  EXPECT_LT(selected.size(), 8u);
+}
+
+TEST(FeatureSelection, SelectionCoversEveryClassSignal) {
+  // The auto-selected set must contain at least one CPU, one IO/paging,
+  // and one network metric, or the classifier couldn't separate classes.
+  const auto selected = select_features(synthetic_data(),
+                                        {.target_count = 8});
+  const bool has_cpu = contains(selected, MetricId::kCpuUser) ||
+                       contains(selected, MetricId::kCpuSystem) ||
+                       contains(selected, MetricId::kCpuIdle);
+  const bool has_io = contains(selected, MetricId::kIoBi) ||
+                      contains(selected, MetricId::kIoBo) ||
+                      contains(selected, MetricId::kSwapIn) ||
+                      contains(selected, MetricId::kSwapOut);
+  const bool has_net = contains(selected, MetricId::kBytesIn) ||
+                       contains(selected, MetricId::kBytesOut) ||
+                       contains(selected, MetricId::kPktsIn) ||
+                       contains(selected, MetricId::kPktsOut);
+  EXPECT_TRUE(has_cpu);
+  EXPECT_TRUE(has_io);
+  EXPECT_TRUE(has_net);
+}
+
+TEST(FeatureSelection, RedundancyFilterDropsDuplicates) {
+  LabeledSnapshots data = synthetic_data();
+  // Make pkts_in an exact copy of bytes_in (a perfectly redundant metric).
+  for (auto& s : data.snapshots)
+    s.set(MetricId::kPktsIn, s.get(MetricId::kBytesIn));
+  const auto strict =
+      select_features(data, {.target_count = 33, .max_redundancy = 0.99});
+  EXPECT_FALSE(contains(strict, MetricId::kBytesIn) &&
+               contains(strict, MetricId::kPktsIn));
+  const auto lax =
+      select_features(data, {.target_count = 33, .max_redundancy = 1.01});
+  EXPECT_TRUE(contains(lax, MetricId::kBytesIn) &&
+              contains(lax, MetricId::kPktsIn));
+}
+
+TEST(FeatureSelection, AutoSelectedFeaturesTrainAnAccurateClassifier) {
+  // The full future-work loop: auto-select -> train -> evaluate.
+  const auto pools = testing::synthetic_training();
+  const auto selected = select_features(pools, {.target_count = 8});
+  PipelineOptions options;
+  options.selected_metrics = selected;
+  const auto cm = cross_validate(pools, options, 4, 11);
+  EXPECT_GT(cm.accuracy(), 0.9);
+}
+
+TEST(FeatureSelection, DeterministicForSameData) {
+  const auto a = select_features(synthetic_data());
+  const auto b = select_features(synthetic_data());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace appclass::core

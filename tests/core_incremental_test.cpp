@@ -1,0 +1,103 @@
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.hpp"
+
+namespace appclass::core {
+namespace {
+
+TEST(Incremental, NotReadyUntilTwoClasses) {
+  IncrementalTrainer trainer;
+  EXPECT_FALSE(trainer.ready());
+  linalg::Rng rng(1);
+  for (int i = 0; i < 5; ++i)
+    trainer.add(testing::synthetic_snapshot(ApplicationClass::kCpu, rng, i),
+                ApplicationClass::kCpu);
+  EXPECT_FALSE(trainer.ready());
+  trainer.add(testing::synthetic_snapshot(ApplicationClass::kIo, rng, 9),
+              ApplicationClass::kIo);
+  EXPECT_TRUE(trainer.ready());
+}
+
+TEST(Incremental, ReservoirBoundsMemory) {
+  IncrementalTrainer trainer({}, {.reservoir_per_class = 50});
+  linalg::Rng rng(2);
+  for (int i = 0; i < 500; ++i)
+    trainer.add(testing::synthetic_snapshot(ApplicationClass::kNetwork, rng,
+                                            i),
+                ApplicationClass::kNetwork);
+  EXPECT_EQ(trainer.retained(ApplicationClass::kNetwork), 50u);
+  EXPECT_EQ(trainer.seen(), 500u);
+}
+
+TEST(Incremental, TrainedPipelineClassifiesCorrectly) {
+  IncrementalTrainer trainer;
+  for (std::size_t c = 0; c < kClassCount; ++c)
+    trainer.add_pool(
+        testing::synthetic_pool(class_from_index(c), 40, 10 + c),
+        class_from_index(c));
+  ASSERT_TRUE(trainer.ready());
+  const ClassificationPipeline pipeline = trainer.train();
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    const auto pool =
+        testing::synthetic_pool(class_from_index(c), 20, 500 + c);
+    EXPECT_EQ(pipeline.classify(pool).application_class, class_from_index(c));
+  }
+}
+
+TEST(Incremental, RetrainingAdaptsToNewData) {
+  // Train on two classes, later add a third; retraining picks it up.
+  IncrementalTrainer trainer;
+  trainer.add_pool(testing::synthetic_pool(ApplicationClass::kCpu, 40, 1),
+                   ApplicationClass::kCpu);
+  trainer.add_pool(testing::synthetic_pool(ApplicationClass::kIdle, 40, 2),
+                   ApplicationClass::kIdle);
+  const ClassificationPipeline first = trainer.train();
+  const auto io_pool = testing::synthetic_pool(ApplicationClass::kIo, 20, 3);
+  // The two-class model cannot produce an IO label at all.
+  EXPECT_NE(first.classify(io_pool).application_class,
+            ApplicationClass::kIo);
+
+  trainer.add_pool(testing::synthetic_pool(ApplicationClass::kIo, 40, 4),
+                   ApplicationClass::kIo);
+  const ClassificationPipeline second = trainer.train();
+  EXPECT_EQ(second.classify(io_pool).application_class,
+            ApplicationClass::kIo);
+}
+
+TEST(Incremental, ReservoirRemainsClassBalancedUnderSkew) {
+  // 10x more CPU samples than IO: the reservoirs stay capped per class, so
+  // the training set cannot be swamped by the majority class.
+  IncrementalTrainer trainer({}, {.reservoir_per_class = 30});
+  linalg::Rng rng(5);
+  for (int i = 0; i < 1000; ++i)
+    trainer.add(testing::synthetic_snapshot(ApplicationClass::kCpu, rng, i),
+                ApplicationClass::kCpu);
+  for (int i = 0; i < 100; ++i)
+    trainer.add(testing::synthetic_snapshot(ApplicationClass::kIo, rng, i),
+                ApplicationClass::kIo);
+  EXPECT_EQ(trainer.retained(ApplicationClass::kCpu), 30u);
+  EXPECT_EQ(trainer.retained(ApplicationClass::kIo), 30u);
+}
+
+TEST(Incremental, DeterministicForSameSeed) {
+  auto build = [] {
+    IncrementalTrainer trainer({}, {.reservoir_per_class = 20, .seed = 9});
+    linalg::Rng rng(6);
+    for (int i = 0; i < 300; ++i)
+      trainer.add(
+          testing::synthetic_snapshot(ApplicationClass::kMemory, rng, i),
+          ApplicationClass::kMemory);
+    trainer.add_pool(testing::synthetic_pool(ApplicationClass::kIdle, 20, 7),
+                     ApplicationClass::kIdle);
+    return trainer.train();
+  };
+  const auto a = build();
+  const auto b = build();
+  EXPECT_LT(a.knn().training_points().max_abs_diff(b.knn().training_points()),
+            1e-15);
+}
+
+}  // namespace
+}  // namespace appclass::core

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core_test_util.hpp"
+
+namespace appclass::core {
+namespace {
+
+ClassificationPipeline novelty_pipeline(double threshold) {
+  PipelineOptions options;
+  options.novelty_threshold = threshold;
+  ClassificationPipeline pipeline(options);
+  pipeline.train(testing::synthetic_training());
+  return pipeline;
+}
+
+/// A behaviour unlike any trained class: simultaneous heavy everything.
+metrics::DataPool alien_pool(std::size_t count, std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  metrics::DataPool pool("10.0.0.1");
+  for (std::size_t i = 0; i < count; ++i) {
+    metrics::Snapshot s;
+    s.time = static_cast<metrics::SimTime>(5 * i);
+    s.node_ip = "10.0.0.1";
+    s.set(metrics::MetricId::kCpuUser, rng.uniform(80.0, 95.0));
+    s.set(metrics::MetricId::kCpuSystem, rng.uniform(40.0, 60.0));
+    s.set(metrics::MetricId::kBytesOut, rng.uniform(5.0e7, 8.0e7));
+    s.set(metrics::MetricId::kBytesIn, rng.uniform(5.0e7, 8.0e7));
+    s.set(metrics::MetricId::kIoBi, rng.uniform(2.0e4, 3.0e4));
+    s.set(metrics::MetricId::kIoBo, rng.uniform(2.0e4, 3.0e4));
+    s.set(metrics::MetricId::kSwapIn, rng.uniform(8.0e3, 1.2e4));
+    s.set(metrics::MetricId::kSwapOut, rng.uniform(8.0e3, 1.2e4));
+    pool.add(s);
+  }
+  return pool;
+}
+
+TEST(Novelty, DisabledByDefault) {
+  ClassificationPipeline pipeline;
+  pipeline.train(testing::synthetic_training());
+  const auto result =
+      pipeline.classify(testing::synthetic_pool(ApplicationClass::kIo, 10, 1));
+  EXPECT_TRUE(result.novelty.empty());
+  EXPECT_DOUBLE_EQ(result.novel_fraction, 0.0);
+}
+
+TEST(Novelty, KnownBehavioursScoreLow) {
+  const auto pipeline = novelty_pipeline(3.0);
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    const auto result = pipeline.classify(
+        testing::synthetic_pool(class_from_index(c), 25, 50 + c));
+    EXPECT_LT(result.novel_fraction, 0.1)
+        << to_string(class_from_index(c));
+  }
+}
+
+TEST(Novelty, AlienBehaviourFlagsMostSnapshots) {
+  const auto pipeline = novelty_pipeline(3.0);
+  const auto result = pipeline.classify(alien_pool(30, 2));
+  EXPECT_GT(result.novel_fraction, 0.9);
+  ASSERT_EQ(result.novelty.size(), 30u);
+  for (const double d : result.novelty) EXPECT_GT(d, 0.0);
+}
+
+TEST(Novelty, ThresholdControlsSensitivity) {
+  const auto strict = novelty_pipeline(0.5);
+  const auto lax = novelty_pipeline(1.0e6);
+  const auto pool = alien_pool(20, 3);
+  EXPECT_GT(strict.classify(pool).novel_fraction,
+            lax.classify(pool).novel_fraction);
+  EXPECT_DOUBLE_EQ(lax.classify(pool).novel_fraction, 0.0);
+}
+
+TEST(Novelty, NearestDistanceIsZeroOnTrainingPoints) {
+  const auto pipeline = novelty_pipeline(3.0);
+  const auto& knn = pipeline.knn();
+  EXPECT_NEAR(knn.nearest_distance(knn.training_points().row(0)), 0.0,
+              1e-12);
+}
+
+TEST(Novelty, DistanceIsPositiveOffTheTrainingSet) {
+  const auto pipeline = novelty_pipeline(3.0);
+  const std::vector<double> far = {100.0, 100.0};
+  EXPECT_GT(pipeline.knn().nearest_distance(far), 50.0);
+}
+
+}  // namespace
+}  // namespace appclass::core

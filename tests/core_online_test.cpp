@@ -1,0 +1,100 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.hpp"
+
+namespace appclass::core {
+namespace {
+
+class OnlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { pipeline_.train(testing::synthetic_training()); }
+
+  /// Feeds `n` snapshots of one class at 1 Hz starting at `t0`.
+  metrics::SimTime feed(OnlineClassifier& oc, ApplicationClass cls,
+                        std::size_t n, metrics::SimTime t0,
+                        const std::string& ip = "10.0.0.1") {
+    linalg::Rng rng(static_cast<std::uint64_t>(t0) + 17);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto s = testing::synthetic_snapshot(cls, rng, t0);
+      s.node_ip = ip;
+      oc.observe(s);
+      ++t0;
+    }
+    return t0;
+  }
+
+  ClassificationPipeline pipeline_;
+};
+
+TEST_F(OnlineTest, ClassifiesOnSamplingGridOnly) {
+  OnlineClassifier oc(pipeline_, {.sampling_interval_s = 5});
+  feed(oc, ApplicationClass::kCpu, 20, 0);
+  EXPECT_EQ(oc.classified_count(), 4u);  // t = 0, 5, 10, 15
+}
+
+TEST_F(OnlineTest, RollingCompositionTracksBehaviour) {
+  OnlineClassifier oc(pipeline_, {.sampling_interval_s = 1, .window = 10});
+  feed(oc, ApplicationClass::kIo, 20, 0);
+  const auto comp = oc.composition("10.0.0.1");
+  ASSERT_TRUE(comp.has_value());
+  EXPECT_EQ(comp->samples(), 10u);  // window bounded
+  EXPECT_GT(comp->fraction(ApplicationClass::kIo), 0.8);
+  EXPECT_EQ(oc.current_class("10.0.0.1"), ApplicationClass::kIo);
+}
+
+TEST_F(OnlineTest, UnknownNodeReturnsNullopt) {
+  OnlineClassifier oc(pipeline_);
+  EXPECT_FALSE(oc.composition("10.9.9.9").has_value());
+  EXPECT_FALSE(oc.current_class("10.9.9.9").has_value());
+}
+
+TEST_F(OnlineTest, DetectsBehaviourChangeWithDebounce) {
+  OnlineClassifier oc(pipeline_,
+                      {.sampling_interval_s = 1, .window = 6, .stability = 3});
+  std::vector<BehaviourChange> changes;
+  oc.on_change([&](const BehaviourChange& c) { changes.push_back(c); });
+
+  metrics::SimTime t = feed(oc, ApplicationClass::kCpu, 12, 0);
+  EXPECT_TRUE(changes.empty());
+  feed(oc, ApplicationClass::kNetwork, 12, t);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].from, ApplicationClass::kCpu);
+  EXPECT_EQ(changes[0].to, ApplicationClass::kNetwork);
+  EXPECT_EQ(oc.current_class("10.0.0.1"), ApplicationClass::kNetwork);
+}
+
+TEST_F(OnlineTest, BriefBlipDoesNotFireChange) {
+  OnlineClassifier oc(pipeline_,
+                      {.sampling_interval_s = 1, .window = 8, .stability = 4});
+  int changes = 0;
+  oc.on_change([&](const BehaviourChange&) { ++changes; });
+  metrics::SimTime t = feed(oc, ApplicationClass::kCpu, 12, 0);
+  t = feed(oc, ApplicationClass::kIo, 3, t);  // blip < half the window
+  feed(oc, ApplicationClass::kCpu, 12, t);
+  EXPECT_EQ(changes, 0);
+  EXPECT_EQ(oc.current_class("10.0.0.1"), ApplicationClass::kCpu);
+}
+
+TEST_F(OnlineTest, TracksNodesIndependently) {
+  OnlineClassifier oc(pipeline_, {.sampling_interval_s = 1, .window = 8});
+  feed(oc, ApplicationClass::kCpu, 10, 0, "10.0.0.1");
+  feed(oc, ApplicationClass::kNetwork, 10, 0, "10.0.0.2");
+  EXPECT_EQ(oc.current_class("10.0.0.1"), ApplicationClass::kCpu);
+  EXPECT_EQ(oc.current_class("10.0.0.2"), ApplicationClass::kNetwork);
+}
+
+TEST_F(OnlineTest, ObserveReturnsAssignedLabel) {
+  OnlineClassifier oc(pipeline_, {.sampling_interval_s = 2});
+  linalg::Rng rng(3);
+  auto s = testing::synthetic_snapshot(ApplicationClass::kMemory, rng, 2);
+  const auto label = oc.observe(s);
+  ASSERT_TRUE(label.has_value());
+  EXPECT_EQ(*label, ApplicationClass::kMemory);
+  s.time = 3;
+  EXPECT_FALSE(oc.observe(s).has_value());  // off-grid
+}
+
+}  // namespace
+}  // namespace appclass::core

@@ -1,0 +1,88 @@
+#include "core/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.hpp"
+
+namespace appclass::core {
+namespace {
+
+TEST(Preprocessor, DefaultsToExpertEight) {
+  const Preprocessor pre;
+  EXPECT_EQ(pre.dimension(), 8u);
+  EXPECT_EQ(pre.selected()[0], metrics::MetricId::kCpuSystem);
+}
+
+TEST(Preprocessor, CustomSelection) {
+  const Preprocessor pre({metrics::MetricId::kLoadOne});
+  EXPECT_EQ(pre.dimension(), 1u);
+}
+
+TEST(Preprocessor, ExtractShapesMxP) {
+  const auto pool = testing::synthetic_pool(ApplicationClass::kIo, 10, 1);
+  const Preprocessor pre;
+  const auto m = pre.extract(pool);
+  EXPECT_EQ(m.rows(), 10u);
+  EXPECT_EQ(m.cols(), 8u);
+}
+
+TEST(Preprocessor, ExtractPullsCorrectMetrics) {
+  metrics::Snapshot s;
+  s.set(metrics::MetricId::kCpuSystem, 11.0);
+  s.set(metrics::MetricId::kSwapOut, 22.0);
+  s.set(metrics::MetricId::kLoadOne, 99.0);  // not in the expert list
+  metrics::DataPool pool("n");
+  pool.add(s);
+  const Preprocessor pre;
+  const auto m = pre.extract(pool);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 11.0);  // cpu_system first
+  EXPECT_DOUBLE_EQ(m.at(0, 7), 22.0);  // swap_out last
+}
+
+TEST(Preprocessor, FitThenTransformNormalizesTrainingData) {
+  const auto pool = testing::synthetic_pool(ApplicationClass::kNetwork, 50, 2);
+  Preprocessor pre;
+  pre.fit(pool);
+  const auto n = pre.transform(pool);
+  const auto stats = linalg::column_stats(n);
+  for (std::size_t c = 0; c < n.cols(); ++c) {
+    EXPECT_NEAR(stats.mean[c], 0.0, 1e-9);
+    // Constant columns normalize to 0 (stddev floor), others to 1.
+    EXPECT_LE(stats.stddev[c], 1.0 + 1e-9);
+  }
+}
+
+TEST(Preprocessor, FittedFlagTracksState) {
+  Preprocessor pre;
+  EXPECT_FALSE(pre.fitted());
+  pre.fit(testing::synthetic_pool(ApplicationClass::kIdle, 5, 3));
+  EXPECT_TRUE(pre.fitted());
+  EXPECT_EQ(pre.stats().dims(), 8u);
+}
+
+TEST(Preprocessor, TransformReplaysTrainingStatsOnTestData) {
+  const auto train = testing::synthetic_pool(ApplicationClass::kCpu, 50, 4);
+  Preprocessor pre;
+  pre.fit(train);
+  // A test pool from a different class is normalized with the SAME stats:
+  // its transformed mean must NOT be zero.
+  const auto test = testing::synthetic_pool(ApplicationClass::kIo, 50, 5);
+  const auto n = pre.transform(test);
+  const auto stats = linalg::column_stats(n);
+  double max_mean = 0.0;
+  for (double m : stats.mean) max_mean = std::max(max_mean, std::abs(m));
+  EXPECT_GT(max_mean, 1.0);
+}
+
+TEST(Preprocessor, SnapshotTransformMatchesMatrixPath) {
+  const auto pool = testing::synthetic_pool(ApplicationClass::kMemory, 20, 6);
+  Preprocessor pre;
+  pre.fit(pool);
+  const auto matrix_path = pre.transform(pool);
+  const auto row = pre.transform(pool[3]);
+  for (std::size_t c = 0; c < row.size(); ++c)
+    EXPECT_DOUBLE_EQ(row[c], matrix_path.at(3, c));
+}
+
+}  // namespace
+}  // namespace appclass::core

@@ -1,0 +1,105 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core_test_util.hpp"
+
+namespace appclass::core {
+namespace {
+
+ClassificationPipeline trained() {
+  ClassificationPipeline pipeline;
+  pipeline.train(testing::synthetic_training(25));
+  return pipeline;
+}
+
+TEST(Serialize, HeaderAndStructure) {
+  const std::string text = save_pipeline(trained());
+  EXPECT_EQ(text.rfind("appclass-pipeline v1", 0), 0u);
+  EXPECT_NE(text.find("metrics 8 cpu_system cpu_user"), std::string::npos);
+  EXPECT_NE(text.find("pca 8 2"), std::string::npos);
+  EXPECT_NE(text.find("knn 125 3 euclidean"), std::string::npos);
+}
+
+TEST(Serialize, RoundTripPreservesEveryPrediction) {
+  const ClassificationPipeline original = trained();
+  const ClassificationPipeline restored =
+      load_pipeline(save_pipeline(original));
+  ASSERT_TRUE(restored.trained());
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    const auto pool =
+        testing::synthetic_pool(class_from_index(c), 25, 400 + c);
+    const auto a = original.classify(pool);
+    const auto b = restored.classify(pool);
+    EXPECT_EQ(a.class_vector, b.class_vector);
+    EXPECT_LT(a.projected.max_abs_diff(b.projected), 1e-12);
+  }
+}
+
+TEST(Serialize, RoundTripPreservesModelParameters) {
+  const ClassificationPipeline original = trained();
+  const ClassificationPipeline restored =
+      load_pipeline(save_pipeline(original));
+  EXPECT_EQ(restored.preprocessor().dimension(),
+            original.preprocessor().dimension());
+  EXPECT_EQ(restored.pca().components(), original.pca().components());
+  EXPECT_EQ(restored.knn().training_size(), original.knn().training_size());
+  EXPECT_EQ(restored.knn().k(), original.knn().k());
+  EXPECT_LT(restored.pca().projection().max_abs_diff(
+                original.pca().projection()),
+            1e-15);
+}
+
+TEST(Serialize, SecondRoundTripIsIdentical) {
+  const std::string once = save_pipeline(trained());
+  const std::string twice = save_pipeline(load_pipeline(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  EXPECT_THROW(load_pipeline("not a pipeline\n"), std::runtime_error);
+  EXPECT_THROW(load_pipeline(""), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedInput) {
+  std::string text = save_pipeline(trained());
+  text.resize(text.size() / 2);
+  EXPECT_THROW(load_pipeline(text), std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnknownMetric) {
+  std::string text = save_pipeline(trained());
+  const auto pos = text.find("cpu_system");
+  text.replace(pos, 10, "cpu_bogus!");
+  EXPECT_THROW(load_pipeline(text), std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnknownClassLabel) {
+  std::string text = save_pipeline(trained());
+  const auto pos = text.find("\nidle ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos + 1, 4, "lazy");
+  EXPECT_THROW(load_pipeline(text), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/appclass_pipeline.txt";
+  const ClassificationPipeline original = trained();
+  save_pipeline_file(original, path);
+  const ClassificationPipeline restored = load_pipeline_file(path);
+  const auto pool = testing::synthetic_pool(ApplicationClass::kIo, 10, 999);
+  EXPECT_EQ(restored.classify(pool).application_class,
+            original.classify(pool).application_class);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_pipeline_file("/nonexistent/dir/model.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace appclass::core

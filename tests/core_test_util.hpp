@@ -1,0 +1,77 @@
+// Shared helpers for the core-library tests: synthetic, well-separated
+// labelled pools so classifier behaviour can be asserted without running
+// the simulator.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "linalg/random.hpp"
+
+namespace appclass::core::testing {
+
+/// One synthetic snapshot with the expert metrics set around class-typical
+/// levels plus Gaussian jitter.
+inline metrics::Snapshot synthetic_snapshot(ApplicationClass cls,
+                                            linalg::Rng& rng,
+                                            metrics::SimTime t) {
+  using metrics::MetricId;
+  metrics::Snapshot s;
+  s.time = t;
+  s.node_ip = "10.0.0.1";
+  const auto jitter = [&](double v, double sigma) {
+    return std::max(0.0, v + rng.normal(0.0, sigma));
+  };
+  switch (cls) {
+    case ApplicationClass::kIdle:
+      s.set(MetricId::kCpuSystem, jitter(0.5, 0.2));
+      break;
+    case ApplicationClass::kCpu:
+      s.set(MetricId::kCpuUser, jitter(95.0, 2.0));
+      s.set(MetricId::kCpuSystem, jitter(3.0, 1.0));
+      break;
+    case ApplicationClass::kIo:
+      s.set(MetricId::kCpuSystem, jitter(20.0, 3.0));
+      s.set(MetricId::kCpuUser, jitter(8.0, 2.0));
+      s.set(MetricId::kIoBi, jitter(5000.0, 500.0));
+      s.set(MetricId::kIoBo, jitter(5000.0, 500.0));
+      break;
+    case ApplicationClass::kNetwork:
+      s.set(MetricId::kCpuSystem, jitter(15.0, 3.0));
+      s.set(MetricId::kBytesIn, jitter(1.0e6, 1.0e5));
+      s.set(MetricId::kBytesOut, jitter(2.0e7, 2.0e6));
+      break;
+    case ApplicationClass::kMemory:
+      s.set(MetricId::kCpuSystem, jitter(15.0, 3.0));
+      s.set(MetricId::kSwapIn, jitter(2500.0, 300.0));
+      s.set(MetricId::kSwapOut, jitter(2500.0, 300.0));
+      s.set(MetricId::kIoBi, jitter(2500.0, 300.0));
+      s.set(MetricId::kIoBo, jitter(2500.0, 300.0));
+      break;
+  }
+  return s;
+}
+
+/// A pool of `count` synthetic snapshots of one class.
+inline metrics::DataPool synthetic_pool(ApplicationClass cls,
+                                        std::size_t count,
+                                        std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  metrics::DataPool pool("10.0.0.1");
+  for (std::size_t i = 0; i < count; ++i)
+    pool.add(synthetic_snapshot(cls, rng, static_cast<metrics::SimTime>(5 * i)));
+  return pool;
+}
+
+/// Five labelled pools, one per class.
+inline std::vector<LabeledPool> synthetic_training(std::size_t per_class = 40,
+                                                   std::uint64_t seed = 7) {
+  std::vector<LabeledPool> out;
+  for (std::size_t c = 0; c < kClassCount; ++c)
+    out.push_back(LabeledPool{
+        synthetic_pool(class_from_index(c), per_class, seed + c),
+        class_from_index(c)});
+  return out;
+}
+
+}  // namespace appclass::core::testing

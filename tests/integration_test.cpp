@@ -1,0 +1,171 @@
+// End-to-end integration tests: simulated testbed -> Ganglia-style
+// monitoring -> profiler -> trained classifier -> application database ->
+// cost model / class-aware scheduling. These exercise the full paper
+// pipeline rather than individual modules.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/trainer.hpp"
+#include "monitor/harness.hpp"
+#include "sched/policy.hpp"
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+namespace appclass {
+namespace {
+
+/// Shared trained pipeline (training runs the simulator; do it once).
+const core::ClassificationPipeline& pipeline() {
+  static const core::ClassificationPipeline p = core::make_trained_pipeline();
+  return p;
+}
+
+core::ClassificationResult classify_app(const std::string& app,
+                                        double vm_ram_mb = 256.0,
+                                        std::uint64_t seed = 77,
+                                        std::int64_t* elapsed = nullptr) {
+  sim::TestbedOptions opts;
+  opts.seed = seed;
+  opts.vm1_ram_mb = vm_ram_mb;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  monitor::ClusterMonitor mon(*tb.engine);
+  const auto id = tb.engine->submit(
+      tb.vm1, workloads::make_by_name(app, static_cast<int>(tb.vm4)));
+  const auto run = monitor::profile_instance(*tb.engine, mon, id, 5);
+  EXPECT_TRUE(run.completed) << app;
+  if (elapsed) *elapsed = run.elapsed();
+  return pipeline().classify(run.pool);
+}
+
+TEST(EndToEnd, TrainingPoolsCoverAllFiveClasses) {
+  const auto pools = core::collect_training_pools();
+  ASSERT_EQ(pools.size(), core::kClassCount);
+  for (std::size_t c = 0; c < core::kClassCount; ++c) {
+    EXPECT_EQ(pools[c].label, core::class_from_index(c));
+    EXPECT_GT(pools[c].pool.size(), 10u);
+  }
+}
+
+TEST(EndToEnd, TrainingDataSelfClassifiesAccurately) {
+  const auto pools = core::collect_training_pools();
+  for (const auto& lp : pools) {
+    const auto result = pipeline().classify(lp.pool);
+    EXPECT_EQ(result.application_class, lp.label);
+    EXPECT_GT(result.composition.fraction(lp.label), 0.75)
+        << core::to_string(lp.label);
+  }
+}
+
+TEST(EndToEnd, CpuBenchmarksClassifyCpu) {
+  EXPECT_EQ(classify_app("ch3d").application_class,
+            core::ApplicationClass::kCpu);
+  EXPECT_EQ(classify_app("simplescalar").application_class,
+            core::ApplicationClass::kCpu);
+}
+
+TEST(EndToEnd, IoBenchmarksClassifyIo) {
+  EXPECT_EQ(classify_app("postmark").application_class,
+            core::ApplicationClass::kIo);
+  EXPECT_EQ(classify_app("bonnie").application_class,
+            core::ApplicationClass::kIo);
+}
+
+TEST(EndToEnd, NetworkBenchmarksClassifyNetwork) {
+  for (const char* app : {"netpipe", "autobench", "sftp", "postmark_nfs"})
+    EXPECT_EQ(classify_app(app).application_class,
+              core::ApplicationClass::kNetwork)
+        << app;
+}
+
+TEST(EndToEnd, EnvironmentFlipsPostmarkClass) {
+  // Table 3: local directory -> IO; NFS-mounted directory -> network.
+  EXPECT_EQ(classify_app("postmark").application_class,
+            core::ApplicationClass::kIo);
+  EXPECT_EQ(classify_app("postmark_nfs").application_class,
+            core::ApplicationClass::kNetwork);
+}
+
+TEST(EndToEnd, SmallMemoryVmShiftsSpecseisTowardIoAndPaging) {
+  std::int64_t elapsed_big = 0, elapsed_small = 0;
+  const auto big = classify_app("specseis_medium", 256.0, 5, &elapsed_big);
+  const auto small = classify_app("specseis_medium", 32.0, 5, &elapsed_small);
+  EXPECT_GT(big.composition.fraction(core::ApplicationClass::kCpu), 0.95);
+  // In the 32 MB VM a large share of snapshots become IO / paging...
+  EXPECT_GT(small.composition.fraction(core::ApplicationClass::kIo) +
+                small.composition.fraction(core::ApplicationClass::kMemory),
+            0.25);
+  // ...and the run takes substantially longer (paper: 291 -> 426 min).
+  EXPECT_GT(elapsed_small, elapsed_big);
+}
+
+TEST(EndToEnd, InteractiveAppIsAMixture) {
+  const auto vmd = classify_app("vmd");
+  int nonzero = 0;
+  for (double f : vmd.composition.fractions()) nonzero += (f > 0.05);
+  EXPECT_GE(nonzero, 3);  // idle + IO + network, like Figure 3(d)
+}
+
+TEST(EndToEnd, DatabaseDrivenScheduling) {
+  // Learn classes from historical runs, store them, then let the
+  // class-aware policy pick the schedule from the database alone.
+  core::ApplicationDatabase db;
+  const std::map<char, std::string> code_to_app = {
+      {'S', "specseis_small"}, {'P', "postmark"}, {'N', "netpipe"}};
+  for (const auto& [code, app] : code_to_app) {
+    std::int64_t elapsed = 0;
+    const auto result = classify_app(app, 256.0, 99, &elapsed);
+    core::RunRecord run;
+    run.application = app;
+    run.config = "vm-256MB";
+    run.composition = result.composition;
+    run.application_class = result.application_class;
+    run.elapsed_seconds = elapsed;
+    run.samples = result.composition.samples();
+    db.record(run);
+  }
+  const auto classes = sched::classes_from_database(db, code_to_app,
+                                                    "vm-256MB");
+  ASSERT_TRUE(classes.has_value());
+  const auto schedules =
+      sched::enumerate_schedules({{'S', 3}, {'P', 3}, {'N', 3}}, 3, 3);
+  const auto& pick = sched::pick_class_aware(schedules, *classes);
+  EXPECT_EQ(sched::to_string(pick.schedule), "{(NPS),(NPS),(NPS)}");
+}
+
+TEST(EndToEnd, CostModelPricesLearnedRuns) {
+  std::int64_t elapsed = 0;
+  const auto result = classify_app("postmark", 256.0, 42, &elapsed);
+  core::RunRecord run;
+  run.application = "postmark";
+  run.composition = result.composition;
+  run.application_class = result.application_class;
+  run.elapsed_seconds = elapsed;
+  const core::CostModel model(
+      core::UnitCosts{.cpu = 1.0, .memory = 2.0, .io = 3.0, .network = 1.5});
+  const double cost = model.run_cost(run);
+  // PostMark is ~all IO: cost per second close to the IO price.
+  EXPECT_NEAR(cost / static_cast<double>(elapsed), 3.0, 0.4);
+}
+
+TEST(EndToEnd, OnlineClassificationDuringRun) {
+  // Classify snapshots as they stream from the bus (online mode), then
+  // check the live majority matches the offline result.
+  sim::TestbedOptions opts;
+  opts.seed = 123;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  monitor::ClusterMonitor mon(*tb.engine);
+  tb.engine->submit(tb.vm1, workloads::make_postmark());
+  std::vector<core::ApplicationClass> live;
+  mon.bus().subscribe([&](const metrics::Snapshot& s) {
+    if (s.node_ip == "10.0.0.1" && s.time % 5 == 0)
+      live.push_back(pipeline().classify(s));
+  });
+  tb.engine->run_until_done(10000);
+  ASSERT_GT(live.size(), 20u);
+  EXPECT_EQ(core::majority_vote(live), core::ApplicationClass::kIo);
+}
+
+}  // namespace
+}  // namespace appclass

@@ -1,0 +1,104 @@
+#include "linalg/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random.hpp"
+
+namespace appclass::linalg {
+namespace {
+
+TEST(Quantile, ExtremesAreMinMax) {
+  const std::vector<double> v = {5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, MedianOfOddAndEven) {
+  const std::vector<double> odd = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v = {42};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 42.0);
+}
+
+TEST(Quantile, MonotoneInQ) {
+  Rng rng(3);
+  std::vector<double> v(200);
+  for (auto& x : v) x = rng.normal(0.0, 5.0);
+  double prev = quantile(v, 0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = quantile(v, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Quantile, InputOrderIrrelevant) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {5, 3, 1, 4, 2};
+  EXPECT_DOUBLE_EQ(quantile(a, 0.3), quantile(b, 0.3));
+}
+
+TEST(Histogram, BinsCountsAndRanges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(3.9);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  const auto [lo, hi] = h.bin_range(1);
+  EXPECT_DOUBLE_EQ(lo, 2.0);
+  EXPECT_DOUBLE_EQ(hi, 4.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-100.0);
+  h.add(100.0);
+  h.add(10.0);  // exactly hi clamps into the last bin
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+}
+
+TEST(Histogram, CumulativeFractionReachesOne) {
+  Histogram h(0.0, 1.0, 4);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.cumulative_fraction(1), 0.5, 0.06);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(3), 1.0);
+}
+
+TEST(Histogram, AddAllMatchesIndividualAdds) {
+  const std::vector<double> v = {0.1, 0.2, 0.7, 0.9};
+  Histogram a(0.0, 1.0, 2), b(0.0, 1.0, 2);
+  a.add_all(v);
+  for (const double x : v) b.add(x);
+  for (std::size_t bin = 0; bin < 2; ++bin)
+    EXPECT_EQ(a.bin_count(bin), b.bin_count(bin));
+}
+
+TEST(Histogram, ToStringHasOneLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  const std::string s = h.to_string();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace appclass::linalg

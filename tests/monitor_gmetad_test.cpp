@@ -1,0 +1,105 @@
+#include "monitor/gmetad.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitor/harness.hpp"
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+namespace appclass::monitor {
+namespace {
+
+metrics::Snapshot node_snapshot(const std::string& ip, metrics::SimTime t,
+                                double cpu_idle, double io = 0.0) {
+  metrics::Snapshot s;
+  s.node_ip = ip;
+  s.time = t;
+  s.set(metrics::MetricId::kCpuIdle, cpu_idle);
+  s.set(metrics::MetricId::kIoBi, io);
+  return s;
+}
+
+TEST(Gmetad, TracksLatestPerNode) {
+  MetricBus bus;
+  Gmetad gmetad(bus);
+  bus.announce(node_snapshot("a", 0, 10.0));
+  bus.announce(node_snapshot("a", 5, 90.0));
+  ASSERT_TRUE(gmetad.latest("a").has_value());
+  EXPECT_DOUBLE_EQ(gmetad.latest("a")->get(metrics::MetricId::kCpuIdle),
+                   90.0);
+  EXPECT_FALSE(gmetad.latest("zzz").has_value());
+  EXPECT_EQ(gmetad.node_count(), 1u);
+}
+
+TEST(Gmetad, SummaryOverLiveNodes) {
+  MetricBus bus;
+  Gmetad gmetad(bus);
+  bus.announce(node_snapshot("a", 0, 20.0));
+  bus.announce(node_snapshot("b", 0, 60.0));
+  bus.announce(node_snapshot("c", 0, 100.0));
+  const auto sum = gmetad.summary(metrics::MetricId::kCpuIdle);
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(sum->nodes, 3u);
+  EXPECT_DOUBLE_EQ(sum->sum, 180.0);
+  EXPECT_DOUBLE_EQ(sum->mean, 60.0);
+  EXPECT_DOUBLE_EQ(sum->min, 20.0);
+  EXPECT_DOUBLE_EQ(sum->max, 100.0);
+}
+
+TEST(Gmetad, StaleNodesExcluded) {
+  MetricBus bus;
+  Gmetad gmetad(bus, /*liveness_timeout_s=*/30);
+  bus.announce(node_snapshot("old", 0, 50.0));
+  bus.announce(node_snapshot("fresh", 100, 80.0));
+  const auto live = gmetad.live_nodes();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0], "fresh");
+  const auto sum = gmetad.summary(metrics::MetricId::kCpuIdle);
+  EXPECT_EQ(sum->nodes, 1u);
+  // The stale node's latest snapshot is still retrievable.
+  EXPECT_TRUE(gmetad.latest("old").has_value());
+}
+
+TEST(Gmetad, StaleNodeRevives) {
+  MetricBus bus;
+  Gmetad gmetad(bus, 30);
+  bus.announce(node_snapshot("a", 0, 50.0));
+  bus.announce(node_snapshot("b", 100, 80.0));
+  EXPECT_EQ(gmetad.live_nodes().size(), 1u);
+  bus.announce(node_snapshot("a", 101, 55.0));
+  EXPECT_EQ(gmetad.live_nodes().size(), 2u);
+}
+
+TEST(Gmetad, ArgmaxArgmin) {
+  MetricBus bus;
+  Gmetad gmetad(bus);
+  bus.announce(node_snapshot("busy", 0, 5.0, 9000.0));
+  bus.announce(node_snapshot("calm", 0, 95.0, 100.0));
+  EXPECT_EQ(gmetad.argmax(metrics::MetricId::kCpuIdle), "calm");
+  EXPECT_EQ(gmetad.argmin(metrics::MetricId::kIoBi), "calm");
+  EXPECT_EQ(gmetad.argmax(metrics::MetricId::kIoBi), "busy");
+}
+
+TEST(Gmetad, EmptyClusterReturnsNullopt) {
+  MetricBus bus;
+  Gmetad gmetad(bus);
+  EXPECT_FALSE(gmetad.summary(metrics::MetricId::kCpuIdle).has_value());
+  EXPECT_FALSE(gmetad.argmax(metrics::MetricId::kCpuIdle).has_value());
+}
+
+TEST(Gmetad, IntegratesWithSimulatedCluster) {
+  sim::TestbedOptions opts;
+  opts.four_vms = true;
+  sim::Testbed tb = sim::make_testbed(opts);
+  monitor::ClusterMonitor mon(*tb.engine);
+  Gmetad gmetad(mon.bus());
+  tb.engine->submit(tb.vm1, workloads::make_ch3d(200.0));
+  tb.engine->run_for(60);
+  EXPECT_EQ(gmetad.node_count(), 4u);
+  EXPECT_EQ(gmetad.live_nodes().size(), 4u);
+  // VM1 runs the CPU hog: it has the least idle CPU on the subnet.
+  EXPECT_EQ(gmetad.argmin(metrics::MetricId::kCpuIdle), "10.0.0.1");
+}
+
+}  // namespace
+}  // namespace appclass::monitor

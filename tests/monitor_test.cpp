@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "monitor/bus.hpp"
+#include "monitor/harness.hpp"
+#include "monitor/profiler.hpp"
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+namespace appclass::monitor {
+namespace {
+
+metrics::Snapshot snapshot_at(metrics::SimTime t, const std::string& ip) {
+  metrics::Snapshot s;
+  s.time = t;
+  s.node_ip = ip;
+  s.set(metrics::MetricId::kCpuUser, static_cast<double>(t));
+  return s;
+}
+
+TEST(MetricBus, DeliversToAllSubscribers) {
+  MetricBus bus;
+  int a = 0, b = 0;
+  bus.subscribe([&](const metrics::Snapshot&) { ++a; });
+  bus.subscribe([&](const metrics::Snapshot&) { ++b; });
+  bus.announce(snapshot_at(0, "n"));
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(bus.listener_count(), 2u);
+}
+
+TEST(MetricBus, UnsubscribeStopsDelivery) {
+  MetricBus bus;
+  int a = 0;
+  const auto id = bus.subscribe([&](const metrics::Snapshot&) { ++a; });
+  bus.announce(snapshot_at(0, "n"));
+  bus.unsubscribe(id);
+  bus.announce(snapshot_at(1, "n"));
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(bus.listener_count(), 0u);
+}
+
+TEST(MetricBus, UnsubscribeUnknownIdIsNoop) {
+  MetricBus bus;
+  bus.unsubscribe(12345);  // must not crash
+  EXPECT_EQ(bus.listener_count(), 0u);
+}
+
+TEST(MetricBus, ReentrantUnsubscribeFromListenerIsSafe) {
+  MetricBus bus;
+  SubscriptionId self = 0;
+  int calls = 0;
+  self = bus.subscribe([&](const metrics::Snapshot&) {
+    ++calls;
+    bus.unsubscribe(self);
+  });
+  bus.announce(snapshot_at(0, "n"));
+  bus.announce(snapshot_at(1, "n"));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Gmond, AnnouncesAtConfiguredInterval) {
+  MetricBus bus;
+  int received = 0;
+  bus.subscribe([&](const metrics::Snapshot&) { ++received; });
+  Gmond gmond("n", bus, /*announce_interval_s=*/3);
+  for (int t = 0; t < 9; ++t) gmond.observe(snapshot_at(t, "n"));
+  EXPECT_EQ(received, 3);
+}
+
+TEST(Profiler, SamplesEveryDSeconds) {
+  MetricBus bus;
+  PerformanceProfiler profiler(bus, /*sampling_interval_s=*/5);
+  profiler.start();
+  for (int t = 0; t < 20; ++t) bus.announce(snapshot_at(t, "n"));
+  profiler.stop();
+  ASSERT_EQ(profiler.raw_samples().size(), 4u);  // t = 0, 5, 10, 15
+  EXPECT_EQ(profiler.raw_samples()[1].time, 5);
+}
+
+TEST(Profiler, CapturesAllNodesOnTheSubnet) {
+  // Ganglia's listen/announce protocol means the profiler hears everyone.
+  MetricBus bus;
+  PerformanceProfiler profiler(bus, 1);
+  profiler.start();
+  bus.announce(snapshot_at(0, "a"));
+  bus.announce(snapshot_at(0, "b"));
+  profiler.stop();
+  EXPECT_EQ(profiler.raw_samples().size(), 2u);
+}
+
+TEST(Profiler, StartIsIdempotent) {
+  MetricBus bus;
+  PerformanceProfiler profiler(bus, 1);
+  profiler.start();
+  profiler.start();
+  bus.announce(snapshot_at(0, "n"));
+  profiler.stop();
+  EXPECT_EQ(profiler.raw_samples().size(), 1u);  // not double-subscribed
+}
+
+TEST(Profiler, StopDetachesFromBus) {
+  MetricBus bus;
+  PerformanceProfiler profiler(bus, 1);
+  profiler.start();
+  profiler.stop();
+  bus.announce(snapshot_at(0, "n"));
+  EXPECT_TRUE(profiler.raw_samples().empty());
+  EXPECT_EQ(bus.listener_count(), 0u);
+}
+
+TEST(Profiler, ClearResetsCapture) {
+  MetricBus bus;
+  PerformanceProfiler profiler(bus, 1);
+  profiler.start();
+  bus.announce(snapshot_at(0, "n"));
+  profiler.clear();
+  EXPECT_TRUE(profiler.raw_samples().empty());
+}
+
+TEST(Filter, ExtractsOnlyTargetNode) {
+  std::vector<metrics::Snapshot> raw = {
+      snapshot_at(0, "a"), snapshot_at(0, "b"), snapshot_at(5, "a")};
+  const metrics::DataPool pool = PerformanceFilter::extract(raw, "a");
+  ASSERT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.node_ip(), "a");
+  EXPECT_EQ(pool[1].time, 5);
+}
+
+TEST(Filter, NodesListsDistinctIps) {
+  std::vector<metrics::Snapshot> raw = {
+      snapshot_at(0, "a"), snapshot_at(0, "b"), snapshot_at(1, "a")};
+  const auto nodes = PerformanceFilter::nodes(raw);
+  EXPECT_EQ(nodes, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Harness, ClusterMonitorRoutesEngineSnapshots) {
+  sim::TestbedOptions opts;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  ClusterMonitor mon(*tb.engine);
+  std::vector<std::string> seen;
+  mon.bus().subscribe(
+      [&](const metrics::Snapshot& s) { seen.push_back(s.node_ip); });
+  tb.engine->run_for(2);
+  // Two VMs (vm1 + peer vm4) x two ticks.
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Harness, ProfileInstanceCapturesWholeRun) {
+  sim::TestbedOptions opts;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  ClusterMonitor mon(*tb.engine);
+  const auto id = tb.engine->submit(tb.vm1, workloads::make_postmark());
+  const ProfiledRun run = profile_instance(*tb.engine, mon, id, 5);
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.pool.node_ip(), "10.0.0.1");
+  EXPECT_GT(run.elapsed(), 100);
+  // ~1 sample per 5 seconds of run time.
+  EXPECT_NEAR(static_cast<double>(run.pool.size()),
+              static_cast<double>(run.elapsed()) / 5.0, 3.0);
+}
+
+TEST(Harness, ProfileInstanceHonoursTickBudget) {
+  sim::TestbedOptions opts;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  ClusterMonitor mon(*tb.engine);
+  const auto id = tb.engine->submit(
+      tb.vm1, workloads::make_specseis(workloads::SeisDataSize::kMedium));
+  const ProfiledRun run =
+      profile_instance(*tb.engine, mon, id, 5, /*max_ticks=*/50);
+  EXPECT_FALSE(run.completed);
+  EXPECT_LE(tb.engine->now(), 50);
+}
+
+}  // namespace
+}  // namespace appclass::monitor

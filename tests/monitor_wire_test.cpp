@@ -1,0 +1,108 @@
+#include "monitor/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random.hpp"
+
+namespace appclass::monitor {
+namespace {
+
+metrics::Snapshot sample_snapshot(std::uint64_t seed = 1) {
+  linalg::Rng rng(seed);
+  metrics::Snapshot s;
+  s.time = 12345;
+  s.node_ip = "10.0.0.1";
+  for (auto& v : s.values) v = rng.uniform(-1.0e9, 1.0e9);
+  return s;
+}
+
+TEST(Wire, RoundTripsExactly) {
+  const metrics::Snapshot original = sample_snapshot();
+  const auto packet = encode_packet(original);
+  const auto decoded = decode_packet(packet);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->time, original.time);
+  EXPECT_EQ(decoded->node_ip, original.node_ip);
+  for (std::size_t i = 0; i < metrics::kMetricCount; ++i)
+    EXPECT_DOUBLE_EQ(decoded->values[i], original.values[i]) << i;
+}
+
+TEST(Wire, PacketSizeIsExact) {
+  const metrics::Snapshot s = sample_snapshot();
+  EXPECT_EQ(encode_packet(s).size(), packet_size(s.node_ip.size()));
+}
+
+TEST(Wire, SpecialFloatValuesSurvive) {
+  metrics::Snapshot s = sample_snapshot();
+  s.values[0] = 0.0;
+  s.values[1] = -0.0;
+  s.values[2] = 1e-300;
+  s.values[3] = std::numeric_limits<double>::max();
+  const auto decoded = decode_packet(encode_packet(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_DOUBLE_EQ(decoded->values[2], 1e-300);
+  EXPECT_DOUBLE_EQ(decoded->values[3], std::numeric_limits<double>::max());
+}
+
+TEST(Wire, RejectsBadMagic) {
+  auto packet = encode_packet(sample_snapshot());
+  packet[0] ^= 0xFF;
+  EXPECT_FALSE(decode_packet(packet).has_value());
+}
+
+TEST(Wire, RejectsWrongVersion) {
+  auto packet = encode_packet(sample_snapshot());
+  packet[5] ^= 0x01;
+  EXPECT_FALSE(decode_packet(packet).has_value());
+}
+
+TEST(Wire, RejectsTruncation) {
+  const auto packet = encode_packet(sample_snapshot());
+  for (const std::size_t cut : {0u, 1u, 9u, 20u}) {
+    const std::span<const std::uint8_t> truncated(packet.data(),
+                                                  packet.size() - 1 - cut);
+    EXPECT_FALSE(decode_packet(truncated).has_value());
+  }
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  auto packet = encode_packet(sample_snapshot());
+  packet.push_back(0x00);
+  EXPECT_FALSE(decode_packet(packet).has_value());
+}
+
+TEST(Wire, ChecksumCatchesBodyCorruption) {
+  linalg::Rng rng(7);
+  int rejected = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    auto packet = encode_packet(
+        sample_snapshot(static_cast<std::uint64_t>(100 + t)));
+    const std::size_t idx =
+        10 + rng.uniform_index(packet.size() - 10);  // corrupt the body
+    packet[idx] ^= static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+    if (!decode_packet(packet).has_value()) ++rejected;
+  }
+  EXPECT_EQ(rejected, trials);
+}
+
+TEST(Wire, EmptyNodeIpAllowed) {
+  metrics::Snapshot s = sample_snapshot();
+  s.node_ip.clear();
+  const auto decoded = decode_packet(encode_packet(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->node_ip.empty());
+}
+
+TEST(Wire, RandomBytesRejected) {
+  linalg::Rng rng(9);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<std::uint8_t> junk(1 + rng.uniform_index(400));
+    for (auto& b : junk)
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    EXPECT_FALSE(decode_packet(junk).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace appclass::monitor

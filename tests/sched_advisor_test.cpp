@@ -1,0 +1,114 @@
+#include "sched/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitor/harness.hpp"
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+namespace appclass::sched {
+namespace {
+
+using core::ApplicationClass;
+using metrics::MetricId;
+
+metrics::Snapshot make_node(const std::string& ip, double cpu_idle,
+                            double io_blocks, double net_bytes,
+                            double mem_free_frac) {
+  metrics::Snapshot s;
+  s.node_ip = ip;
+  s.time = 0;
+  s.set(MetricId::kCpuIdle, cpu_idle);
+  s.set(MetricId::kIoBi, io_blocks / 2);
+  s.set(MetricId::kIoBo, io_blocks / 2);
+  s.set(MetricId::kBytesIn, net_bytes / 2);
+  s.set(MetricId::kBytesOut, net_bytes / 2);
+  s.set(MetricId::kMemTotal, 256.0 * 1024);
+  s.set(MetricId::kMemFree, mem_free_frac * 256.0 * 1024);
+  return s;
+}
+
+struct AdvisorFixture {
+  monitor::MetricBus bus;
+  monitor::Gmetad gmetad{bus};
+  PlacementAdvisor advisor{gmetad};
+  std::vector<std::string> candidates = {"cpu-busy", "io-busy", "net-busy"};
+
+  AdvisorFixture() {
+    bus.announce(make_node("cpu-busy", 5.0, 500.0, 1.0e6, 0.5));
+    bus.announce(make_node("io-busy", 80.0, 9500.0, 1.0e6, 0.5));
+    bus.announce(make_node("net-busy", 80.0, 500.0, 60.0e6, 0.5));
+  }
+};
+
+TEST(Advisor, CpuJobAvoidsCpuBusyNode) {
+  AdvisorFixture f;
+  const auto pick = f.advisor.recommend(ApplicationClass::kCpu,
+                                        f.candidates);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_NE(*pick, "cpu-busy");
+}
+
+TEST(Advisor, IoJobAvoidsIoBusyNode) {
+  AdvisorFixture f;
+  const auto ranked = f.advisor.ranking(ApplicationClass::kIo, f.candidates);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked.back().first, "io-busy");
+  EXPECT_LT(ranked.back().second, 0.3);
+}
+
+TEST(Advisor, NetworkJobAvoidsNetBusyNode) {
+  AdvisorFixture f;
+  const auto ranked =
+      f.advisor.ranking(ApplicationClass::kNetwork, f.candidates);
+  EXPECT_EQ(ranked.back().first, "net-busy");
+}
+
+TEST(Advisor, HeadroomFormulas) {
+  AdvisorFixture f;
+  const auto cpu_busy = *f.gmetad.latest("cpu-busy");
+  EXPECT_NEAR(f.advisor.headroom(ApplicationClass::kCpu, cpu_busy), 0.05,
+              1e-9);
+  const auto io_busy = *f.gmetad.latest("io-busy");
+  EXPECT_NEAR(f.advisor.headroom(ApplicationClass::kIo, io_busy),
+              1.0 - 9500.0 / 11000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.advisor.headroom(ApplicationClass::kIdle, io_busy), 1.0);
+}
+
+TEST(Advisor, MemoryHeadroomCountsCacheAsAvailable) {
+  AdvisorFixture f;
+  metrics::Snapshot s = make_node("m", 50.0, 0.0, 0.0, 0.25);
+  s.set(MetricId::kMemCached, 0.25 * 256.0 * 1024);
+  EXPECT_NEAR(f.advisor.headroom(ApplicationClass::kMemory, s), 0.5, 1e-9);
+}
+
+TEST(Advisor, UnknownCandidatesSkipped) {
+  AdvisorFixture f;
+  const std::vector<std::string> ghosts = {"nope1", "nope2"};
+  EXPECT_FALSE(
+      f.advisor.recommend(ApplicationClass::kCpu, ghosts).has_value());
+  const std::vector<std::string> mixed = {"nope", "io-busy"};
+  EXPECT_EQ(f.advisor.recommend(ApplicationClass::kCpu, mixed), "io-busy");
+}
+
+TEST(Advisor, LiveClusterIntegration) {
+  sim::TestbedOptions opts;
+  opts.four_vms = true;
+  sim::Testbed tb = sim::make_testbed(opts);
+  monitor::ClusterMonitor mon(*tb.engine);
+  monitor::Gmetad gmetad(mon.bus());
+  PlacementAdvisor advisor(gmetad);
+  // VM2 is CPU-saturated; VM3 is disk-saturated.
+  tb.engine->submit(tb.vm2, workloads::make_ch3d(500.0));
+  tb.engine->submit(tb.vm3, workloads::make_postmark());
+  tb.engine->run_for(60);
+  const std::vector<std::string> candidates = {"10.0.0.2", "10.0.0.3"};
+  // A new CPU job should land on the disk-busy VM, and vice versa.
+  EXPECT_EQ(advisor.recommend(core::ApplicationClass::kCpu, candidates),
+            "10.0.0.3");
+  EXPECT_EQ(advisor.recommend(core::ApplicationClass::kIo, candidates),
+            "10.0.0.2");
+}
+
+}  // namespace
+}  // namespace appclass::sched

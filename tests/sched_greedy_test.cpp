@@ -1,0 +1,132 @@
+#include "sched/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace appclass::sched {
+namespace {
+
+using core::ApplicationClass;
+
+PlacementProblem paper_problem() {
+  PlacementProblem p;
+  for (int i = 0; i < 3; ++i) {
+    p.jobs.push_back({"specseis_small", ApplicationClass::kCpu});
+    p.jobs.push_back({"postmark", ApplicationClass::kIo});
+    p.jobs.push_back({"netpipe", ApplicationClass::kNetwork});
+  }
+  p.vm_count = 3;
+  p.slots_per_vm = 3;
+  return p;
+}
+
+void expect_valid(const PlacementProblem& problem,
+                  const Placement& placement) {
+  ASSERT_EQ(placement.size(), problem.vm_count);
+  std::set<std::size_t> seen;
+  for (const auto& vm : placement) {
+    EXPECT_LE(vm.size(), problem.slots_per_vm);
+    for (const std::size_t j : vm) {
+      EXPECT_LT(j, problem.jobs.size());
+      EXPECT_TRUE(seen.insert(j).second) << "job placed twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), problem.jobs.size());
+}
+
+TEST(Greedy, PaperMixGetsPerfectSpread) {
+  const auto problem = paper_problem();
+  const auto placement = greedy_place(problem);
+  expect_valid(problem, placement);
+  EXPECT_EQ(overlap_penalty(problem, placement), 0);
+  // Each VM holds one job of each class (the SPN schedule).
+  for (const auto& vm : placement) {
+    std::set<ApplicationClass> classes;
+    for (const std::size_t j : vm) classes.insert(problem.jobs[j].cls);
+    EXPECT_EQ(classes.size(), 3u);
+  }
+}
+
+TEST(Greedy, OverlapPenaltyCountsSameClassPairs) {
+  const auto problem = paper_problem();
+  // Segregated placement: {0,3,6} are cpu, {1,4,7} io, {2,5,8} net.
+  const Placement segregated = {{0, 3, 6}, {1, 4, 7}, {2, 5, 8}};
+  EXPECT_EQ(overlap_penalty(problem, segregated), 9);  // 3 per VM
+  const Placement mixed = {{0, 1, 2}, {3, 4, 5}, {6, 7, 8}};
+  EXPECT_EQ(overlap_penalty(problem, mixed), 0);
+}
+
+TEST(Greedy, UnbalancedMixStillSpreadsHeaviestClass) {
+  PlacementProblem p;
+  for (int i = 0; i < 6; ++i)
+    p.jobs.push_back({"postmark", ApplicationClass::kIo});
+  p.jobs.push_back({"ch3d", ApplicationClass::kCpu});
+  p.jobs.push_back({"netpipe", ApplicationClass::kNetwork});
+  p.vm_count = 4;
+  p.slots_per_vm = 2;
+  const auto placement = greedy_place(p);
+  expect_valid(p, placement);
+  // 6 io jobs over 4 VMs: best possible is two VMs with an io pair.
+  EXPECT_EQ(overlap_penalty(p, placement), 2);
+}
+
+TEST(Greedy, SingleVmTakesEverything) {
+  PlacementProblem p;
+  p.jobs.push_back({"ch3d", ApplicationClass::kCpu});
+  p.jobs.push_back({"postmark", ApplicationClass::kIo});
+  p.vm_count = 1;
+  p.slots_per_vm = 2;
+  const auto placement = greedy_place(p);
+  expect_valid(p, placement);
+  EXPECT_EQ(placement[0].size(), 2u);
+}
+
+TEST(Greedy, DeterministicPlacement) {
+  const auto problem = paper_problem();
+  EXPECT_EQ(greedy_place(problem), greedy_place(problem));
+}
+
+TEST(RandomPlace, ValidAndSeedDependent) {
+  const auto problem = paper_problem();
+  linalg::Rng rng(5);
+  const auto a = random_place(problem, rng);
+  expect_valid(problem, a);
+  linalg::Rng rng2(6);
+  const auto b = random_place(problem, rng2);
+  expect_valid(problem, b);
+  // Different seeds almost surely differ.
+  EXPECT_NE(a, b);
+}
+
+TEST(PlacementThroughput, SumsInverseElapsed) {
+  EXPECT_DOUBLE_EQ(placement_throughput({86400, 43200}), 3.0);
+}
+
+TEST(SimulatePlacement, GreedyBeatsWorstCase) {
+  const auto problem = paper_problem();
+  const auto greedy = greedy_place(problem);
+  const Placement segregated = {{0, 3, 6}, {1, 4, 7}, {2, 5, 8}};
+  const auto greedy_elapsed = simulate_placement(problem, greedy, 7);
+  const auto seg_elapsed = simulate_placement(problem, segregated, 7);
+  EXPECT_GT(placement_throughput(greedy_elapsed),
+            1.1 * placement_throughput(seg_elapsed));
+}
+
+TEST(SimulatePlacement, ReturnsElapsedPerJobInOrder) {
+  PlacementProblem p;
+  p.jobs.push_back({"postmark", ApplicationClass::kIo});
+  p.jobs.push_back({"ch3d", ApplicationClass::kCpu});
+  p.vm_count = 2;
+  p.slots_per_vm = 1;
+  const Placement placement = {{0}, {1}};
+  const auto elapsed = simulate_placement(p, placement, 9);
+  ASSERT_EQ(elapsed.size(), 2u);
+  EXPECT_GT(elapsed[0], 150);  // postmark ~250 s
+  EXPECT_LT(elapsed[0], 400);
+  EXPECT_GT(elapsed[1], 250);  // ch3d ~490 s on host A / ~370 on host B
+}
+
+}  // namespace
+}  // namespace appclass::sched

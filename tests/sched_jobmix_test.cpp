@@ -1,0 +1,102 @@
+#include "sched/jobmix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace appclass::sched {
+namespace {
+
+const std::map<char, core::ApplicationClass> kPaperClasses = {
+    {'S', core::ApplicationClass::kCpu},
+    {'P', core::ApplicationClass::kIo},
+    {'N', core::ApplicationClass::kNetwork}};
+
+TEST(JobMix, PaperMixHasExactlyTenSchedules) {
+  const auto schedules = enumerate_schedules({{'S', 3}, {'P', 3}, {'N', 3}},
+                                             3, 3);
+  EXPECT_EQ(schedules.size(), 10u);
+}
+
+TEST(JobMix, SchedulesAreDistinctAndCanonical) {
+  const auto schedules = enumerate_schedules({{'S', 3}, {'P', 3}, {'N', 3}},
+                                             3, 3);
+  std::set<std::string> seen;
+  for (const auto& ws : schedules) {
+    EXPECT_EQ(ws.schedule, canonicalize(ws.schedule));
+    EXPECT_TRUE(seen.insert(to_string(ws.schedule)).second);
+    for (const auto& g : ws.schedule) EXPECT_EQ(g.size(), 3u);
+  }
+}
+
+TEST(JobMix, MultiplicitiesSumToAllAssignments) {
+  // 9 jobs (3 indistinct types of 3) onto 3 distinguishable VMs of 3 slots:
+  // 9!/(3!*3!*3!) = 1680 type-respecting assignments in total.
+  const auto schedules = enumerate_schedules({{'S', 3}, {'P', 3}, {'N', 3}},
+                                             3, 3);
+  std::uint64_t total = 0;
+  for (const auto& ws : schedules) total += ws.multiplicity;
+  EXPECT_EQ(total, 1680u);
+}
+
+TEST(JobMix, UniformScheduleHasSmallestMultiplicity) {
+  // {(SSS),(PPP),(NNN)} arises in only 3! = 6 ways.
+  const auto schedules = enumerate_schedules({{'S', 3}, {'P', 3}, {'N', 3}},
+                                             3, 3);
+  for (const auto& ws : schedules) {
+    if (to_string(ws.schedule) == "{(SSS),(PPP),(NNN)}") {
+      EXPECT_EQ(ws.multiplicity, 6u);
+    }
+    EXPECT_GE(ws.multiplicity, 6u);
+  }
+}
+
+TEST(JobMix, CanonicalizeSortsWithinAndAcrossGroups) {
+  const Schedule raw = {"NS P"[0] + std::string("SP"), "NNS", "SPN"};
+  Schedule s = {"PSN", "NNS", "SSP"};
+  const Schedule c = canonicalize(s);
+  // Each group sorted ascending by char, groups sorted descending.
+  for (const auto& g : c)
+    for (std::size_t i = 0; i + 1 < g.size(); ++i) EXPECT_LE(g[i], g[i + 1]);
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) EXPECT_GE(c[i], c[i + 1]);
+  (void)raw;
+}
+
+TEST(JobMix, CanonicalizeIsIdempotent) {
+  Schedule s = {"SPN", "PPN", "SSN"};
+  EXPECT_EQ(canonicalize(canonicalize(s)), canonicalize(s));
+}
+
+TEST(JobMix, ToStringFormat) {
+  const Schedule s = {"NPS", "NPS", "NPS"};
+  EXPECT_EQ(to_string(s), "{(NPS),(NPS),(NPS)}");
+}
+
+TEST(JobMix, DiversityScoreMaxForAllDistinct) {
+  const Schedule spn = canonicalize({"SPN", "SPN", "SPN"});
+  const Schedule uniform = canonicalize({"SSS", "PPP", "NNN"});
+  EXPECT_EQ(diversity_score(spn, kPaperClasses), 9);
+  EXPECT_EQ(diversity_score(uniform, kPaperClasses), 3);
+}
+
+TEST(JobMix, DiversityUsesClassesNotCodes) {
+  // If two codes map to the same class, mixing them adds no diversity.
+  std::map<char, core::ApplicationClass> classes = {
+      {'A', core::ApplicationClass::kCpu},
+      {'B', core::ApplicationClass::kCpu},
+      {'C', core::ApplicationClass::kIo}};
+  const Schedule s = canonicalize({"AAB", "ABC", "BCC"});
+  EXPECT_EQ(diversity_score(s, classes), 1 + 2 + 2);
+}
+
+TEST(JobMix, TwoGroupEnumeration) {
+  // 2 types x 2 jobs into 2 groups of 2: {AA|BB} and {AB|AB}.
+  const auto schedules = enumerate_schedules({{'A', 2}, {'B', 2}}, 2, 2);
+  EXPECT_EQ(schedules.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& ws : schedules) total += ws.multiplicity;
+  EXPECT_EQ(total, 6u);  // 4!/(2!2!) = 6 assignments
+}
+
+}  // namespace
+}  // namespace appclass::sched

@@ -1,0 +1,126 @@
+#include "sched/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace appclass::sched {
+namespace {
+
+using core::ApplicationClass;
+
+std::vector<ArrivingJob> tiny_stream() {
+  return {
+      {"postmark", ApplicationClass::kIo, 0},
+      {"ch3d", ApplicationClass::kCpu, 10},
+      {"postmark", ApplicationClass::kIo, 20},
+  };
+}
+
+TEST(Queue, MixedArrivalsAreSortedAndComplete) {
+  const auto jobs = make_mixed_arrivals(20, 60.0, 3);
+  EXPECT_EQ(jobs.size(), 20u);
+  for (std::size_t i = 0; i + 1 < jobs.size(); ++i)
+    EXPECT_LE(jobs[i].arrival, jobs[i + 1].arrival);
+  std::set<std::string> apps;
+  for (const auto& j : jobs) apps.insert(j.app);
+  EXPECT_GE(apps.size(), 2u);
+}
+
+TEST(Queue, MixedArrivalsDeterministicPerSeed) {
+  const auto a = make_mixed_arrivals(15, 60.0, 9);
+  const auto b = make_mixed_arrivals(15, 60.0, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].app, b[i].app);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+  }
+}
+
+TEST(Queue, RunCompletesEveryJobAndRecordsResponses) {
+  ArrivalExperimentOptions options;
+  options.vm_count = 2;
+  const auto outcome =
+      run_arrival_experiment(tiny_stream(), round_robin_policy(), options);
+  ASSERT_EQ(outcome.jobs.size(), 3u);
+  for (const auto& j : outcome.jobs) {
+    EXPECT_GT(j.response_seconds, 0);
+    EXPECT_LT(j.vm_index, 2u);
+  }
+  EXPECT_GT(outcome.makespan, 0);
+  EXPECT_GT(outcome.mean_response(), 0.0);
+  EXPECT_GE(outcome.max_response(), outcome.mean_response());
+}
+
+TEST(Queue, ResponseIncludesQueueingDelayUnderContention) {
+  // Two identical CPU jobs arriving together on ONE VM take ~2x as long
+  // as a lone job.
+  std::vector<ArrivingJob> jobs = {
+      {"ch3d", ApplicationClass::kCpu, 0},
+      {"ch3d", ApplicationClass::kCpu, 0},
+  };
+  ArrivalExperimentOptions options;
+  options.vm_count = 1;
+  const auto outcome =
+      run_arrival_experiment(jobs, round_robin_policy(), options);
+  for (const auto& j : outcome.jobs)
+    EXPECT_GT(j.response_seconds, 700);  // ~2x the ~490 s solo time
+}
+
+TEST(Queue, RoundRobinCyclesVms) {
+  std::vector<ArrivingJob> jobs;
+  for (int i = 0; i < 4; ++i)
+    jobs.push_back({"postmark", ApplicationClass::kIo, i});
+  ArrivalExperimentOptions options;
+  options.vm_count = 4;
+  const auto outcome =
+      run_arrival_experiment(jobs, round_robin_policy(), options);
+  std::set<std::size_t> used;
+  for (const auto& j : outcome.jobs) used.insert(j.vm_index);
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(Queue, ClassAwareSpreadsSameClassJobs) {
+  std::vector<ArrivingJob> jobs;
+  for (int i = 0; i < 4; ++i)
+    jobs.push_back({"postmark", ApplicationClass::kIo, i});
+  ArrivalExperimentOptions options;
+  options.vm_count = 4;
+  const auto outcome =
+      run_arrival_experiment(jobs, class_aware_policy(), options);
+  std::set<std::size_t> used;
+  for (const auto& j : outcome.jobs) used.insert(j.vm_index);
+  EXPECT_EQ(used.size(), 4u);  // never two io jobs on one VM
+}
+
+TEST(Queue, LeastLoadedBalancesCounts) {
+  std::vector<ArrivingJob> jobs;
+  for (int i = 0; i < 6; ++i)
+    jobs.push_back({"postmark", ApplicationClass::kIo, i});
+  ArrivalExperimentOptions options;
+  options.vm_count = 3;
+  const auto outcome =
+      run_arrival_experiment(jobs, least_loaded_policy(), options);
+  std::array<int, 3> counts{};
+  for (const auto& j : outcome.jobs) ++counts[j.vm_index];
+  for (const int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(Queue, RandomPolicyStaysInRange) {
+  const auto jobs = make_mixed_arrivals(10, 30.0, 4);
+  ArrivalExperimentOptions options;
+  options.vm_count = 3;
+  const auto outcome =
+      run_arrival_experiment(jobs, random_policy(8), options);
+  for (const auto& j : outcome.jobs) EXPECT_LT(j.vm_index, 3u);
+}
+
+TEST(Queue, ThroughputFormula) {
+  DispatchOutcome o;
+  o.jobs.push_back({"a", ApplicationClass::kCpu, 0, 0, 86400});
+  o.jobs.push_back({"b", ApplicationClass::kIo, 0, 0, 43200});
+  EXPECT_DOUBLE_EQ(o.throughput_jobs_per_day(), 3.0);
+}
+
+}  // namespace
+}  // namespace appclass::sched

@@ -1,0 +1,85 @@
+// Property tests of the simulator's global invariants: no resource is ever
+// oversubscribed, and the allocation is work-conserving for the scenarios
+// the scheduling experiments depend on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+namespace appclass::sim {
+namespace {
+
+/// Runs a random job mix for `ticks` and checks every tick's realized
+/// loads against capacities.
+class ConservationProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ConservationProperty, LoadsNeverExceedCapacity) {
+  const std::uint64_t seed = GetParam();
+  TestbedOptions opts;
+  opts.seed = seed;
+  opts.four_vms = true;
+  Testbed tb = make_testbed(opts);
+
+  // Random mix of catalog apps across the three worker VMs.
+  linalg::Rng rng(seed * 13 + 1);
+  const auto names = workloads::catalog_names();
+  const std::array<VmId, 3> vms = {tb.vm1, tb.vm2, tb.vm3};
+  const std::size_t jobs = 2 + rng.uniform_index(6);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    const auto& name = names[rng.uniform_index(names.size())];
+    if (name == "specseis_medium") continue;  // too long for this test
+    auto model = workloads::make_by_name(name, static_cast<int>(tb.vm4));
+    tb.engine->submit(vms[rng.uniform_index(3)], std::move(model));
+  }
+
+  for (int t = 0; t < 400; ++t) {
+    tb.engine->step();
+    const auto& loads = tb.engine->last_loads();
+    const auto& resources = tb.engine->resources();
+    ASSERT_EQ(loads.size(), resources.size());
+    for (std::size_t r = 0; r < loads.size(); ++r) {
+      EXPECT_GE(loads[r], 0.0) << resources[r].name;
+      if (!std::isinf(resources[r].capacity)) {
+        EXPECT_LE(loads[r], resources[r].capacity * (1.0 + 1e-9))
+            << resources[r].name << " at t=" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMixes, ConservationProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Conservation, SaturatedVcpuIsFullyUsed) {
+  // Work conservation: two CPU hogs on one VM drive the vCPU to capacity.
+  TestbedOptions opts;
+  opts.four_vms = false;
+  Testbed tb = make_testbed(opts);
+  tb.engine->submit(tb.vm1, workloads::make_ch3d(300.0));
+  tb.engine->submit(tb.vm1, workloads::make_ch3d(300.0));
+  tb.engine->run_for(50);
+  const auto& loads = tb.engine->last_loads();
+  const auto& resources = tb.engine->resources();
+  for (std::size_t r = 0; r < resources.size(); ++r) {
+    if (resources[r].name == "vm1.vcpu") {
+      EXPECT_NEAR(loads[r], resources[r].capacity,
+                  0.02 * resources[r].capacity);
+    }
+  }
+}
+
+TEST(Conservation, IdleClusterHasZeroLoads) {
+  TestbedOptions opts;
+  opts.four_vms = true;
+  Testbed tb = make_testbed(opts);
+  tb.engine->run_for(10);
+  for (const double load : tb.engine->last_loads())
+    EXPECT_DOUBLE_EQ(load, 0.0);
+}
+
+}  // namespace
+}  // namespace appclass::sim

@@ -1,0 +1,285 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/phased_app.hpp"
+
+namespace appclass::sim {
+namespace {
+
+using workloads::Phase;
+using workloads::PhasedApp;
+
+/// A deterministic CPU burner: `cores` demand for `seconds` of work.
+std::unique_ptr<WorkloadModel> cpu_burner(double cores, double seconds) {
+  Phase p;
+  p.name = "burn";
+  p.work_units = seconds;
+  p.nominal_rate = 1.0;
+  p.cpu_per_unit = cores;
+  p.rate_jitter = 0.0;
+  return std::make_unique<PhasedApp>("burner", std::vector<Phase>{p});
+}
+
+/// A deterministic disk hog.
+std::unique_ptr<WorkloadModel> disk_hog(double blocks, double seconds) {
+  Phase p;
+  p.name = "io";
+  p.work_units = seconds;
+  p.nominal_rate = 1.0;
+  p.write_blocks_per_unit = blocks;
+  p.rate_jitter = 0.0;
+  return std::make_unique<PhasedApp>("diskhog", std::vector<Phase>{p});
+}
+
+Testbed small_testbed(std::uint64_t seed = 1) {
+  TestbedOptions opts;
+  opts.seed = seed;
+  opts.four_vms = false;
+  return make_testbed(opts);
+}
+
+TEST(Engine, TestbedTopologyMatchesPaper) {
+  TestbedOptions opts;
+  opts.four_vms = true;
+  const Testbed tb = make_testbed(opts);
+  EXPECT_EQ(tb.engine->host_count(), 2u);
+  EXPECT_EQ(tb.engine->vm_count(), 4u);
+  EXPECT_EQ(tb.engine->vm(tb.vm1).host_index(), tb.host_a);
+  EXPECT_EQ(tb.engine->vm(tb.vm4).host_index(), tb.host_b);
+  EXPECT_EQ(tb.engine->vm(tb.vm1).spec().ip, "10.0.0.1");
+  // Host B is the faster machine.
+  EXPECT_GT(tb.engine->host(tb.host_b).spec.cpu_speed,
+            tb.engine->host(tb.host_a).spec.cpu_speed);
+}
+
+TEST(Engine, InstanceLifecycle) {
+  Testbed tb = small_testbed();
+  const InstanceId id = tb.engine->submit(tb.vm1, cpu_burner(0.5, 10.0));
+  EXPECT_EQ(tb.engine->instance(id).state, InstanceState::kPending);
+  tb.engine->step();
+  EXPECT_EQ(tb.engine->instance(id).state, InstanceState::kRunning);
+  EXPECT_TRUE(tb.engine->run_until_done(100));
+  const InstanceInfo info = tb.engine->instance(id);
+  EXPECT_EQ(info.state, InstanceState::kFinished);
+  EXPECT_EQ(info.start_time, 0);
+  EXPECT_NEAR(static_cast<double>(info.elapsed()), 10.0, 2.0);
+}
+
+TEST(Engine, DelayedSubmitStartsAtRequestedTime) {
+  Testbed tb = small_testbed();
+  const InstanceId id =
+      tb.engine->submit(tb.vm1, cpu_burner(0.5, 5.0), /*submit_time=*/7);
+  tb.engine->run_for(7);
+  EXPECT_EQ(tb.engine->instance(id).state, InstanceState::kPending);
+  tb.engine->step();
+  EXPECT_EQ(tb.engine->instance(id).state, InstanceState::kRunning);
+  EXPECT_EQ(tb.engine->instance(id).start_time, 7);
+}
+
+TEST(Engine, SubmitAfterRunsSequentially) {
+  Testbed tb = small_testbed();
+  const InstanceId first = tb.engine->submit(tb.vm1, cpu_burner(1.0, 10.0));
+  const InstanceId second =
+      tb.engine->submit_after(tb.vm1, cpu_burner(1.0, 10.0), first);
+  EXPECT_TRUE(tb.engine->run_until_done(100));
+  EXPECT_GE(tb.engine->instance(second).start_time,
+            tb.engine->instance(first).finish_time);
+}
+
+TEST(Engine, VcpuContentionSlowsEqualJobs) {
+  // Two full-core jobs on a 1-vCPU VM take about twice as long.
+  Testbed tb = small_testbed();
+  const InstanceId a = tb.engine->submit(tb.vm1, cpu_burner(1.0, 50.0));
+  const InstanceId b = tb.engine->submit(tb.vm1, cpu_burner(1.0, 50.0));
+  EXPECT_TRUE(tb.engine->run_until_done(1000));
+  EXPECT_NEAR(static_cast<double>(tb.engine->instance(a).elapsed()), 100.0,
+              8.0);
+  EXPECT_NEAR(static_cast<double>(tb.engine->instance(b).elapsed()), 100.0,
+              8.0);
+}
+
+TEST(Engine, SmallCpuConsumerUnaffectedByContention) {
+  Testbed tb = small_testbed();
+  const InstanceId spinner = tb.engine->submit(tb.vm1, cpu_burner(1.0, 60.0));
+  const InstanceId light = tb.engine->submit(tb.vm1, cpu_burner(0.1, 30.0));
+  EXPECT_TRUE(tb.engine->run_until_done(1000));
+  // The 0.1-core job is below its fair share: runs at full speed.
+  EXPECT_NEAR(static_cast<double>(tb.engine->instance(light).elapsed()), 30.0,
+              3.0);
+  (void)spinner;
+}
+
+TEST(Engine, DiskContentionSlowsIoJobs) {
+  Testbed tb = small_testbed();
+  // Two hogs at 8000 blocks/s each exceed the 11000-block vdisk.
+  const InstanceId a = tb.engine->submit(tb.vm1, disk_hog(8000.0, 40.0));
+  const InstanceId b = tb.engine->submit(tb.vm1, disk_hog(8000.0, 40.0));
+  EXPECT_TRUE(tb.engine->run_until_done(1000));
+  EXPECT_GT(tb.engine->instance(a).elapsed(), 52);
+  EXPECT_GT(tb.engine->instance(b).elapsed(), 52);
+}
+
+TEST(Engine, FasterHostRunsCpuWorkFaster) {
+  TestbedOptions opts;
+  opts.four_vms = true;
+  Testbed tb = make_testbed(opts);
+  const InstanceId slow =
+      tb.engine->submit(tb.vm1, workloads::make_ch3d(200.0));  // host A
+  const InstanceId fast =
+      tb.engine->submit(tb.vm2, workloads::make_ch3d(200.0));  // host B
+  EXPECT_TRUE(tb.engine->run_until_done(2000));
+  const double ratio =
+      static_cast<double>(tb.engine->instance(slow).elapsed()) /
+      static_cast<double>(tb.engine->instance(fast).elapsed());
+  EXPECT_NEAR(ratio, 2.4 / 1.8, 0.12);
+}
+
+TEST(Engine, SnapshotsEmittedPerVmPerTick) {
+  Testbed tb = small_testbed();
+  std::size_t count = 0;
+  tb.engine->set_snapshot_sink(
+      [&](VmId, const metrics::Snapshot&) { ++count; });
+  tb.engine->run_for(10);
+  EXPECT_EQ(count, 10u * tb.engine->vm_count());
+}
+
+TEST(Engine, SnapshotMetricsAreSane) {
+  Testbed tb = small_testbed();
+  tb.engine->submit(tb.vm1, cpu_burner(1.0, 100.0));
+  std::vector<metrics::Snapshot> snaps;
+  tb.engine->set_snapshot_sink(
+      [&](VmId vm, const metrics::Snapshot& s) {
+        if (vm == 0) snaps.push_back(s);
+      });
+  tb.engine->run_for(50);
+  ASSERT_FALSE(snaps.empty());
+  using metrics::MetricId;
+  for (const auto& s : snaps) {
+    const double user = s.get(MetricId::kCpuUser);
+    const double sys = s.get(MetricId::kCpuSystem);
+    const double idle = s.get(MetricId::kCpuIdle);
+    const double wio = s.get(MetricId::kCpuWio);
+    EXPECT_GE(user, 0.0);
+    EXPECT_GE(sys, 0.0);
+    EXPECT_GE(idle, -1e-9);
+    EXPECT_NEAR(user + sys + idle + wio, 100.0, 1e-6);
+    EXPECT_GE(s.get(MetricId::kMemFree), 0.0);
+    EXPECT_LE(s.get(MetricId::kMemFree), s.get(MetricId::kMemTotal));
+    EXPECT_GE(s.get(MetricId::kSwapFree), 0.0);
+    EXPECT_GE(s.get(MetricId::kIoBi), 0.0);
+    EXPECT_GE(s.get(MetricId::kBytesIn), 0.0);
+  }
+  // The burner saturates its vCPU: late snapshots show high user CPU.
+  EXPECT_GT(snaps.back().get(MetricId::kCpuUser), 80.0);
+}
+
+TEST(Engine, LoadAverageTracksRunQueue) {
+  Testbed tb = small_testbed();
+  tb.engine->submit(tb.vm1, cpu_burner(1.0, 400.0));
+  tb.engine->submit(tb.vm1, cpu_burner(1.0, 400.0));
+  metrics::Snapshot last;
+  tb.engine->set_snapshot_sink(
+      [&](VmId vm, const metrics::Snapshot& s) {
+        if (vm == 0) last = s;
+      });
+  tb.engine->run_for(300);
+  EXPECT_NEAR(last.get(metrics::MetricId::kLoadOne), 2.0, 0.3);
+  EXPECT_NEAR(last.get(metrics::MetricId::kLoadFive), 2.0, 0.8);
+}
+
+TEST(Engine, PagingAppearsOnlyWhenOvercommitted) {
+  Testbed tb = small_testbed();
+  tb.engine->submit(tb.vm1, workloads::make_pagebench(384.0));
+  double max_swap = 0.0;
+  tb.engine->set_snapshot_sink(
+      [&](VmId vm, const metrics::Snapshot& s) {
+        if (vm == 0)
+          max_swap = std::max(max_swap, s.get(metrics::MetricId::kSwapIn));
+      });
+  tb.engine->run_for(60);
+  EXPECT_GT(max_swap, 500.0);
+
+  // Same app in a VM with plenty of memory: no swap traffic.
+  TestbedOptions opts;
+  opts.four_vms = false;
+  opts.vm1_ram_mb = 1024.0;
+  Testbed big = make_testbed(opts);
+  big.engine->submit(big.vm1, workloads::make_pagebench(384.0));
+  double swap = 0.0;
+  big.engine->set_snapshot_sink(
+      [&](VmId vm, const metrics::Snapshot& s) {
+        if (vm == 0) swap = std::max(swap, s.get(metrics::MetricId::kSwapIn));
+      });
+  big.engine->run_for(60);
+  EXPECT_DOUBLE_EQ(swap, 0.0);
+}
+
+TEST(Engine, PageCacheCollapsesUnderMemoryPressure) {
+  TestbedOptions opts;
+  opts.four_vms = false;
+  opts.vm1_ram_mb = 32.0;
+  Testbed tb = make_testbed(opts);
+  tb.engine->submit(tb.vm1,
+                    workloads::make_specseis(workloads::SeisDataSize::kMedium));
+  tb.engine->run_for(100);
+  // The paper observed the buffer cache shrinking to ~1 MB in the 32 MB VM.
+  EXPECT_LT(tb.engine->vm(tb.vm1).cache_mb(), 4.0);
+}
+
+TEST(Engine, CrossHostFlowAppearsOnBothVms) {
+  TestbedOptions opts;
+  opts.four_vms = false;
+  Testbed tb = make_testbed(opts);
+  tb.engine->submit(tb.vm1,
+                    workloads::make_ettcp(static_cast<int>(tb.vm4)));
+  double vm1_out = 0.0, vm4_in = 0.0;
+  tb.engine->set_snapshot_sink(
+      [&](VmId vm, const metrics::Snapshot& s) {
+        if (vm == tb.vm1)
+          vm1_out = std::max(vm1_out, s.get(metrics::MetricId::kBytesOut));
+        if (vm == tb.vm4)
+          vm4_in = std::max(vm4_in, s.get(metrics::MetricId::kBytesIn));
+      });
+  tb.engine->run_for(30);
+  EXPECT_GT(vm1_out, 5.0e6);
+  EXPECT_NEAR(vm4_in, vm1_out, 0.35 * vm1_out);
+}
+
+TEST(Engine, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    TestbedOptions opts;
+    opts.seed = seed;
+    opts.four_vms = false;
+    Testbed tb = make_testbed(opts);
+    const InstanceId id = tb.engine->submit(tb.vm1, workloads::make_postmark());
+    tb.engine->run_until_done(10000);
+    return tb.engine->instance(id).elapsed();
+  };
+  EXPECT_EQ(run(99), run(99));
+  // Different seeds should (almost surely) differ in elapsed time.
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(Engine, AllDoneReflectsCompletion) {
+  Testbed tb = small_testbed();
+  EXPECT_TRUE(tb.engine->all_done());  // vacuously
+  tb.engine->submit(tb.vm1, cpu_burner(0.5, 5.0));
+  EXPECT_FALSE(tb.engine->all_done());
+  EXPECT_TRUE(tb.engine->run_until_done(100));
+  EXPECT_TRUE(tb.engine->all_done());
+}
+
+TEST(Engine, RunUntilDoneRespectsTickBudget) {
+  Testbed tb = small_testbed();
+  tb.engine->submit(tb.vm1, cpu_burner(1.0, 1000.0));
+  EXPECT_FALSE(tb.engine->run_until_done(10));
+  EXPECT_EQ(tb.engine->now(), 10);
+}
+
+}  // namespace
+}  // namespace appclass::sim

@@ -1,0 +1,129 @@
+// Detailed checks of the per-VM metric accounting in Vm::finalize_tick.
+#include <gtest/gtest.h>
+
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+#include "workloads/phased_app.hpp"
+
+namespace appclass::sim {
+namespace {
+
+using metrics::MetricId;
+using metrics::Snapshot;
+
+/// Runs `app` on VM1 of a minimal testbed, collecting VM1's snapshots.
+std::vector<Snapshot> observe(std::unique_ptr<WorkloadModel> app,
+                              SimTime ticks, double ram_mb = 256.0) {
+  TestbedOptions opts;
+  opts.seed = 77;
+  opts.four_vms = false;
+  opts.vm1_ram_mb = ram_mb;
+  Testbed tb = make_testbed(opts);
+  std::vector<Snapshot> out;
+  tb.engine->set_snapshot_sink([&](VmId vm, const Snapshot& s) {
+    if (vm == tb.vm1) out.push_back(s);
+  });
+  if (app) tb.engine->submit(tb.vm1, std::move(app));
+  tb.engine->run_for(ticks);
+  return out;
+}
+
+TEST(VmMetrics, ConstantsAreStable) {
+  const auto snaps = observe(nullptr, 20);
+  for (const auto& s : snaps) {
+    EXPECT_DOUBLE_EQ(s.get(MetricId::kCpuNum), 1.0);  // GSX uniprocessor
+    EXPECT_DOUBLE_EQ(s.get(MetricId::kCpuSpeed), 1800.0);
+    EXPECT_DOUBLE_EQ(s.get(MetricId::kMemTotal), 256.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(s.get(MetricId::kSwapTotal), 512.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(s.get(MetricId::kMtu), 1500.0);
+  }
+}
+
+TEST(VmMetrics, IdleVmShowsOnlyDaemonNoise) {
+  const auto snaps = observe(nullptr, 50);
+  for (const auto& s : snaps) {
+    EXPECT_LT(s.get(MetricId::kCpuUser) + s.get(MetricId::kCpuSystem), 5.0);
+    EXPECT_GT(s.get(MetricId::kCpuIdle), 95.0);
+    EXPECT_DOUBLE_EQ(s.get(MetricId::kSwapIn), 0.0);
+    EXPECT_LT(s.get(MetricId::kBytesIn), 5000.0);
+  }
+}
+
+TEST(VmMetrics, AidleTracksLongRunIdleShare) {
+  // 50 idle ticks then a CPU burner: cpu_aidle (idle since boot) decays
+  // slowly while cpu_idle collapses immediately.
+  TestbedOptions opts;
+  opts.seed = 7;
+  opts.four_vms = false;
+  Testbed tb = make_testbed(opts);
+  std::vector<Snapshot> snaps;
+  tb.engine->set_snapshot_sink([&](VmId vm, const Snapshot& s) {
+    if (vm == tb.vm1) snaps.push_back(s);
+  });
+  tb.engine->run_for(50);
+  tb.engine->submit(tb.vm1, workloads::make_ch3d(100.0));
+  tb.engine->run_for(50);
+  const auto& last = snaps.back();
+  EXPECT_LT(last.get(MetricId::kCpuIdle), 10.0);
+  EXPECT_GT(last.get(MetricId::kCpuAidle), 40.0);
+  EXPECT_LT(last.get(MetricId::kCpuAidle), 70.0);
+}
+
+TEST(VmMetrics, PacketsScaleWithBytes) {
+  const auto snaps = observe(workloads::make_autobench(), 60);
+  const auto& s = snaps.back();
+  EXPECT_NEAR(s.get(MetricId::kPktsOut),
+              s.get(MetricId::kBytesOut) / 1200.0, 1.0);
+}
+
+TEST(VmMetrics, DiskFillsUnderSustainedWrites) {
+  workloads::Phase w;
+  w.work_units = 500.0;
+  w.nominal_rate = 1.0;
+  w.write_blocks_per_unit = 9000.0;
+  auto app = std::make_unique<workloads::PhasedApp>(
+      "writer", std::vector<workloads::Phase>{w});
+  const auto snaps = observe(std::move(app), 400);
+  EXPECT_GT(snaps.back().get(MetricId::kPartMaxUsed),
+            snaps.front().get(MetricId::kPartMaxUsed));
+  EXPECT_LT(snaps.back().get(MetricId::kPartMaxUsed), 95.0);
+  EXPECT_NEAR(snaps.back().get(MetricId::kDiskTotal) -
+                  snaps.back().get(MetricId::kDiskFree),
+              snaps.back().get(MetricId::kPartMaxUsed) / 100.0 *
+                  snaps.back().get(MetricId::kDiskTotal),
+              1e-6);
+}
+
+TEST(VmMetrics, PageCacheShrinksWhenWorkingSetGrows) {
+  // An idle VM's leftover RAM is all page cache; a 200 MB resident working
+  // set evicts most of it.
+  const auto idle = observe(nullptr, 30);
+  const auto loaded = observe(workloads::make_stream(200.0), 30);
+  EXPECT_LT(loaded.back().get(MetricId::kMemCached),
+            0.3 * idle.back().get(MetricId::kMemCached));
+}
+
+TEST(VmMetrics, SwapFreeShrinksUnderPaging) {
+  const auto snaps = observe(workloads::make_pagebench(384.0), 120);
+  EXPECT_LT(snaps.back().get(MetricId::kSwapFree),
+            snaps.front().get(MetricId::kSwapFree));
+  EXPECT_GT(snaps.back().get(MetricId::kSwapFree), 0.0);
+}
+
+TEST(VmMetrics, SwapTrafficCountsAsBlockIo) {
+  const auto snaps = observe(workloads::make_pagebench(384.0), 120);
+  const auto& s = snaps.back();
+  EXPECT_GE(s.get(MetricId::kIoBi), s.get(MetricId::kSwapIn));
+  EXPECT_GE(s.get(MetricId::kIoBo), s.get(MetricId::kSwapOut));
+}
+
+TEST(VmMetrics, ProcCountsIncludeRunningInstances) {
+  const auto snaps = observe(workloads::make_ch3d(200.0), 50);
+  const auto& s = snaps.back();
+  EXPECT_GE(s.get(MetricId::kProcRun), 1.0);
+  EXPECT_GT(s.get(MetricId::kProcTotal), 50.0);
+  EXPECT_LT(s.get(MetricId::kProcTotal), 80.0);
+}
+
+}  // namespace
+}  // namespace appclass::sim

@@ -1,0 +1,169 @@
+#include "sim/waterfill.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random.hpp"
+
+namespace appclass::sim {
+namespace {
+
+Demand make_demand(std::initializer_list<std::pair<ResourceId, double>> init) {
+  Demand d;
+  for (const auto& [rid, amount] : init) d.add(rid, amount);
+  return d;
+}
+
+TEST(Waterfill, UncontendedRunsFullSpeed) {
+  const std::vector<double> caps = {10.0};
+  const std::vector<Demand> demands = {make_demand({{0, 3.0}}),
+                                       make_demand({{0, 4.0}})};
+  const auto f = waterfill(caps, demands);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+}
+
+TEST(Waterfill, SymmetricOverloadSplitsEqually) {
+  const std::vector<double> caps = {1.0};
+  const std::vector<Demand> demands = {make_demand({{0, 1.0}}),
+                                       make_demand({{0, 1.0}}),
+                                       make_demand({{0, 1.0}})};
+  const auto f = waterfill(caps, demands);
+  for (double fi : f) EXPECT_NEAR(fi, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Waterfill, SmallDemandServedInFull) {
+  // Linux-scheduler behaviour: the 0.2-core consumer is below its fair
+  // share and gets everything; the two spinners split the rest.
+  const std::vector<double> caps = {1.0};
+  const std::vector<Demand> demands = {make_demand({{0, 0.2}}),
+                                       make_demand({{0, 1.0}}),
+                                       make_demand({{0, 1.0}})};
+  const auto f = waterfill(caps, demands);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_NEAR(f[1], 0.4, 1e-12);
+  EXPECT_NEAR(f[2], 0.4, 1e-12);
+}
+
+TEST(Waterfill, EmptyDemandGetsOne) {
+  const std::vector<double> caps = {1.0};
+  const std::vector<Demand> demands = {Demand{}, make_demand({{0, 5.0}})};
+  const auto f = waterfill(caps, demands);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_NEAR(f[1], 0.2, 1e-12);
+}
+
+TEST(Waterfill, InfiniteCapacityNeverBinds) {
+  const std::vector<double> caps = {kUncapped, 2.0};
+  const std::vector<Demand> demands = {make_demand({{0, 1e9}, {1, 4.0}})};
+  const auto f = waterfill(caps, demands);
+  EXPECT_NEAR(f[0], 0.5, 1e-12);
+}
+
+TEST(Waterfill, ScaleSetByTightestResource) {
+  // Instance uses CPU (plentiful) and disk (scarce): disk decides.
+  const std::vector<double> caps = {10.0, 1.0};
+  const std::vector<Demand> demands = {make_demand({{0, 1.0}, {1, 4.0}})};
+  const auto f = waterfill(caps, demands);
+  EXPECT_NEAR(f[0], 0.25, 1e-12);
+}
+
+TEST(Waterfill, CoupledVectorReleasesOtherResources) {
+  // A disk-bound job scaled to 0.5 consumes only half its CPU, so a
+  // co-located CPU job is unaffected.
+  const std::vector<double> caps = {1.0, 10.0};
+  const std::vector<Demand> demands = {
+      make_demand({{0, 0.4}, {1, 20.0}}),  // disk-bound (f = 0.5)
+      make_demand({{0, 0.8}})};            // cpu job
+  const auto f = waterfill(caps, demands);
+  EXPECT_NEAR(f[0], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  const auto loads = resource_loads(caps.size(), demands, f);
+  EXPECT_NEAR(loads[0], 0.4 * 0.5 + 0.8, 1e-12);  // CPU under capacity
+}
+
+TEST(Waterfill, ZeroCapacityStopsUsers) {
+  const std::vector<double> caps = {0.0};
+  const std::vector<Demand> demands = {make_demand({{0, 1.0}})};
+  const auto f = waterfill(caps, demands);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+}
+
+TEST(Waterfill, ResourceLoadsMatchHandComputation) {
+  const std::vector<double> caps = {2.0, 3.0};
+  const std::vector<Demand> demands = {make_demand({{0, 1.0}, {1, 1.0}}),
+                                       make_demand({{1, 2.0}})};
+  const std::vector<double> scales = {0.5, 1.0};
+  const auto loads = resource_loads(caps.size(), demands, scales);
+  EXPECT_DOUBLE_EQ(loads[0], 0.5);
+  EXPECT_DOUBLE_EQ(loads[1], 2.5);
+}
+
+TEST(Waterfill, DuplicateAddAccumulates) {
+  Demand d;
+  d.add(3, 1.0);
+  d.add(3, 2.0);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.amount(3), 3.0);
+}
+
+TEST(Waterfill, ZeroAmountIgnored) {
+  Demand d;
+  d.add(0, 0.0);
+  EXPECT_TRUE(d.empty());
+}
+
+/// Property: random demand sets always produce a feasible allocation with
+/// f in [0,1], and every scale is either 1 or justified by a resource at
+/// (or over, never beyond tolerance) its capacity.
+class WaterfillProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaterfillProperty, FeasibleAndBounded) {
+  linalg::Rng rng(GetParam());
+  const std::size_t resources = 2 + rng.uniform_index(4);
+  const std::size_t instances = 1 + rng.uniform_index(10);
+  std::vector<double> caps(resources);
+  for (auto& c : caps) c = rng.uniform(0.5, 20.0);
+  std::vector<Demand> demands(instances);
+  for (auto& d : demands) {
+    const std::size_t touches = 1 + rng.uniform_index(resources);
+    for (std::size_t k = 0; k < touches; ++k)
+      d.add(rng.uniform_index(resources), rng.uniform(0.1, 10.0));
+  }
+  const auto f = waterfill(caps, demands);
+  ASSERT_EQ(f.size(), instances);
+  for (double fi : f) {
+    EXPECT_GE(fi, 0.0);
+    EXPECT_LE(fi, 1.0);
+  }
+  const auto loads = resource_loads(resources, demands, f);
+  for (std::size_t r = 0; r < resources; ++r)
+    EXPECT_LE(loads[r], caps[r] * (1.0 + 1e-9));
+}
+
+TEST_P(WaterfillProperty, ThrottledInstancesTouchASaturatedResource) {
+  linalg::Rng rng(GetParam() + 1000);
+  const std::size_t resources = 2 + rng.uniform_index(3);
+  const std::size_t instances = 2 + rng.uniform_index(6);
+  std::vector<double> caps(resources);
+  for (auto& c : caps) c = rng.uniform(0.5, 5.0);
+  std::vector<Demand> demands(instances);
+  for (auto& d : demands)
+    d.add(rng.uniform_index(resources), rng.uniform(0.5, 5.0));
+  const auto f = waterfill(caps, demands);
+  const auto loads = resource_loads(resources, demands, f);
+  for (std::size_t i = 0; i < instances; ++i) {
+    if (f[i] >= 1.0 - 1e-12) continue;
+    bool touches_saturated = false;
+    for (const auto& [rid, amount] : demands[i])
+      if (amount > 0.0 && loads[rid] >= caps[rid] * (1.0 - 1e-6))
+        touches_saturated = true;
+    EXPECT_TRUE(touches_saturated) << "instance " << i << " throttled to "
+                                   << f[i] << " with no bottleneck";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, WaterfillProperty,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace appclass::sim

@@ -1,0 +1,122 @@
+// Calibration guard: every Table-3 row must keep the dominant behaviour
+// class group the paper reports. This pins the workload-model calibration
+// so refactors of the simulator or classifier cannot silently regress the
+// headline reproduction.
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "monitor/harness.hpp"
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+namespace appclass {
+namespace {
+
+using core::ApplicationClass;
+
+const core::ClassificationPipeline& pipeline() {
+  static const core::ClassificationPipeline p = core::make_trained_pipeline();
+  return p;
+}
+
+core::ClassificationResult classify(const std::string& app, double ram_mb,
+                                    std::uint64_t seed = 9000) {
+  sim::TestbedOptions opts;
+  opts.seed = seed;
+  opts.vm1_ram_mb = ram_mb;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  monitor::ClusterMonitor mon(*tb.engine);
+  const auto id = tb.engine->submit(
+      tb.vm1, workloads::make_by_name(app, static_cast<int>(tb.vm4)));
+  const auto run = monitor::profile_instance(*tb.engine, mon, id, 5);
+  EXPECT_TRUE(run.completed) << app;
+  return pipeline().classify(run.pool);
+}
+
+TEST(Table3Regression, CpuIntensiveRows) {
+  for (const char* app : {"specseis_small", "ch3d", "simplescalar"}) {
+    const auto r = classify(app, 256.0);
+    EXPECT_EQ(r.application_class, ApplicationClass::kCpu) << app;
+    EXPECT_GT(r.composition.fraction(ApplicationClass::kCpu), 0.9) << app;
+  }
+}
+
+TEST(Table3Regression, SpecseisMediumIsCleanCpuIn256MbVm) {
+  const auto r = classify("specseis_medium", 256.0);
+  EXPECT_EQ(r.application_class, ApplicationClass::kCpu);
+  EXPECT_GT(r.composition.fraction(ApplicationClass::kCpu), 0.98);
+}
+
+TEST(Table3Regression, SpecseisMediumSplitsIn32MbVm) {
+  const auto r = classify("specseis_medium", 32.0);
+  // Paper row B: 42.9% io / 50.4% cpu / 6.5% paging.
+  EXPECT_GT(r.composition.fraction(ApplicationClass::kIo), 0.25);
+  EXPECT_GT(r.composition.fraction(ApplicationClass::kCpu), 0.40);
+  EXPECT_GT(r.composition.fraction(ApplicationClass::kIo) +
+                r.composition.fraction(ApplicationClass::kMemory),
+            0.30);
+}
+
+TEST(Table3Regression, IoIntensiveRows) {
+  for (const char* app : {"postmark", "bonnie"}) {
+    const auto r = classify(app, 256.0);
+    EXPECT_EQ(r.application_class, ApplicationClass::kIo) << app;
+    EXPECT_GT(r.composition.fraction(ApplicationClass::kIo), 0.7) << app;
+  }
+}
+
+TEST(Table3Regression, StreamIsIoAndPagingMix) {
+  const auto r = classify("stream", 256.0);
+  EXPECT_GT(r.composition.fraction(ApplicationClass::kIo) +
+                r.composition.fraction(ApplicationClass::kMemory),
+            0.95);
+  EXPECT_GT(r.composition.fraction(ApplicationClass::kMemory), 0.05);
+}
+
+TEST(Table3Regression, NetworkIntensiveRows) {
+  for (const char* app : {"postmark_nfs", "netpipe", "autobench", "sftp"}) {
+    const auto r = classify(app, 256.0);
+    EXPECT_EQ(r.application_class, ApplicationClass::kNetwork) << app;
+    EXPECT_GT(r.composition.fraction(ApplicationClass::kNetwork), 0.75)
+        << app;
+  }
+}
+
+/// Interactive sessions are short and Markov-random: aggregate the class
+/// vectors of several independent sessions before asserting shares.
+core::ClassComposition aggregate_composition(const std::string& app,
+                                             int sessions) {
+  std::vector<ApplicationClass> all;
+  for (int s = 0; s < sessions; ++s) {
+    const auto r = classify(app, 256.0, 9100 + static_cast<std::uint64_t>(s));
+    all.insert(all.end(), r.class_vector.begin(), r.class_vector.end());
+  }
+  return core::ClassComposition(all);
+}
+
+TEST(Table3Regression, VmdIsIdleIoNetworkMixture) {
+  const auto comp = aggregate_composition("vmd", 4);
+  EXPECT_GT(comp.fraction(ApplicationClass::kIdle), 0.15);
+  EXPECT_GT(comp.fraction(ApplicationClass::kIo), 0.15);
+  EXPECT_GT(comp.fraction(ApplicationClass::kNetwork), 0.08);
+  EXPECT_LT(comp.fraction(ApplicationClass::kCpu), 0.15);
+}
+
+TEST(Table3Regression, XspimIsIoPlusIdle) {
+  const auto comp = aggregate_composition("xspim", 6);
+  EXPECT_EQ(comp.dominant(), ApplicationClass::kIo);
+  EXPECT_GT(comp.fraction(ApplicationClass::kIo) +
+                comp.fraction(ApplicationClass::kIdle),
+            0.85);
+}
+
+TEST(Table3Regression, PostmarkEnvironmentFlip) {
+  EXPECT_EQ(classify("postmark", 256.0).application_class,
+            ApplicationClass::kIo);
+  EXPECT_EQ(classify("postmark_nfs", 256.0).application_class,
+            ApplicationClass::kNetwork);
+}
+
+}  // namespace
+}  // namespace appclass

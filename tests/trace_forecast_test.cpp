@@ -1,0 +1,103 @@
+#include "trace/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random.hpp"
+
+namespace appclass::trace {
+namespace {
+
+TEST(Ewma, ConvergesToConstantSignal) {
+  EwmaForecaster f(0.3);
+  for (int i = 0; i < 100; ++i) f.observe(7.0);
+  EXPECT_DOUBLE_EQ(f.forecast(), 7.0);
+  EXPECT_NEAR(f.variance(), 0.0, 1e-12);
+}
+
+TEST(Ewma, TracksLevelShift) {
+  EwmaForecaster f(0.3);
+  for (int i = 0; i < 50; ++i) f.observe(10.0);
+  for (int i = 0; i < 50; ++i) f.observe(90.0);
+  EXPECT_NEAR(f.forecast(), 90.0, 1.0);
+}
+
+TEST(Ewma, VarianceReflectsNoise) {
+  // The EW variance has ~1/alpha samples of memory, so a point estimate
+  // is itself noisy: compare time-averaged estimates.
+  linalg::Rng rng(4);
+  EwmaForecaster quiet(0.2), noisy(0.2);
+  double quiet_avg = 0.0, noisy_avg = 0.0;
+  int averaged = 0;
+  for (int i = 0; i < 4000; ++i) {
+    quiet.observe(rng.normal(50.0, 1.0));
+    noisy.observe(rng.normal(50.0, 10.0));
+    if (i >= 1000) {
+      quiet_avg += quiet.variance();
+      noisy_avg += noisy.variance();
+      ++averaged;
+    }
+  }
+  quiet_avg /= averaged;
+  noisy_avg /= averaged;
+  EXPECT_GT(noisy_avg, 20.0 * quiet_avg);
+  EXPECT_NEAR(std::sqrt(noisy_avg), 10.0, 2.0);
+}
+
+TEST(Ewma, ConservativeAddsStdDevs) {
+  linalg::Rng rng(5);
+  EwmaForecaster f(0.2);
+  for (int i = 0; i < 2000; ++i) f.observe(rng.normal(40.0, 5.0));
+  EXPECT_GT(f.conservative(2.0), f.forecast() + 5.0);
+  EXPECT_NEAR(f.conservative(0.0), f.forecast(), 1e-12);
+}
+
+TEST(Ewma, AlphaOneFollowsExactly) {
+  EwmaForecaster f(1.0);
+  f.observe(3.0);
+  f.observe(8.0);
+  EXPECT_DOUBLE_EQ(f.forecast(), 8.0);
+}
+
+TEST(Holt, ExtrapolatesLinearTrend) {
+  HoltForecaster f(0.5, 0.3);
+  for (int i = 0; i <= 60; ++i) f.observe(10.0 + 2.0 * i);  // last = 130
+  EXPECT_NEAR(f.forecast(1), 132.0, 1.0);
+  EXPECT_NEAR(f.forecast(10), 150.0, 2.0);
+}
+
+TEST(Holt, BeatsEwmaOnARamp) {
+  EwmaForecaster ewma(0.3);
+  HoltForecaster holt(0.3, 0.2);
+  double actual = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    actual = 3.0 * i;
+    ewma.observe(actual);
+    holt.observe(actual);
+  }
+  const double next = actual + 3.0;
+  EXPECT_LT(std::abs(holt.forecast(1) - next),
+            std::abs(ewma.forecast() - next));
+}
+
+TEST(Holt, FlatSignalHasZeroTrend) {
+  HoltForecaster f;
+  for (int i = 0; i < 100; ++i) f.observe(5.0);
+  EXPECT_NEAR(f.trend(), 0.0, 1e-9);
+  EXPECT_NEAR(f.forecast(20), 5.0, 1e-6);
+}
+
+TEST(Forecast, CountsTrackObservations) {
+  EwmaForecaster e;
+  HoltForecaster h;
+  EXPECT_EQ(e.count(), 0u);
+  e.observe(1.0);
+  h.observe(1.0);
+  h.observe(2.0);
+  EXPECT_EQ(e.count(), 1u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+}  // namespace
+}  // namespace appclass::trace

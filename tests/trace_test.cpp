@@ -1,0 +1,113 @@
+#include "trace/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace appclass::trace {
+namespace {
+
+TimeSeries make_series(std::vector<double> values, std::int64_t interval = 1) {
+  TimeSeries s;
+  s.start_time = 100;
+  s.interval = interval;
+  s.values = std::move(values);
+  return s;
+}
+
+TEST(TimeSeries, TimeAtUsesInterval) {
+  const TimeSeries s = make_series({1, 2, 3}, 5);
+  EXPECT_EQ(s.time_at(0), 100);
+  EXPECT_EQ(s.time_at(2), 110);
+}
+
+TEST(Downsample, AveragesBlocks) {
+  const TimeSeries s = make_series({1, 3, 5, 7});
+  const TimeSeries d = downsample(s, 2);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.values[0], 2.0);
+  EXPECT_DOUBLE_EQ(d.values[1], 6.0);
+  EXPECT_EQ(d.interval, 2);
+}
+
+TEST(Downsample, PartialTailAveragedOverActualLength) {
+  const TimeSeries s = make_series({2, 4, 9});
+  const TimeSeries d = downsample(s, 2);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.values[1], 9.0);
+}
+
+TEST(Downsample, FactorOneIsIdentity) {
+  const TimeSeries s = make_series({1, 2, 3});
+  const TimeSeries d = downsample(s, 1);
+  EXPECT_EQ(d.values, s.values);
+  EXPECT_EQ(d.interval, s.interval);
+}
+
+TEST(MovingAverage, SmoothsInterior) {
+  const TimeSeries s = make_series({0, 0, 9, 0, 0});
+  const TimeSeries m = moving_average(s, 3);
+  EXPECT_DOUBLE_EQ(m.values[2], 3.0);
+  EXPECT_DOUBLE_EQ(m.values[1], 3.0);
+}
+
+TEST(MovingAverage, EdgesUseOneSidedWindow) {
+  const TimeSeries s = make_series({6, 0, 0});
+  const TimeSeries m = moving_average(s, 3);
+  EXPECT_DOUBLE_EQ(m.values[0], 3.0);  // (6+0)/2
+}
+
+TEST(MovingAverage, WidthOneIsIdentity) {
+  const TimeSeries s = make_series({1, 5, 2});
+  EXPECT_EQ(moving_average(s, 1).values, s.values);
+}
+
+TEST(Windows, SummariesCoverSeries) {
+  const TimeSeries s = make_series({1, 2, 3, 4, 5});
+  const auto w = windowed_summaries(s, 2);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].begin, 0u);
+  EXPECT_EQ(w[2].end, 5u);
+  EXPECT_DOUBLE_EQ(w[0].stats.mean(), 1.5);
+  EXPECT_EQ(w[2].stats.count(), 1u);
+}
+
+TEST(ChangePoints, DetectsStepChange) {
+  std::vector<double> v;
+  for (int i = 0; i < 20; ++i) v.push_back(1.0 + 0.01 * (i % 2));
+  for (int i = 0; i < 20; ++i) v.push_back(10.0 + 0.01 * (i % 2));
+  const auto cp = change_points(make_series(std::move(v)), 5, 2.0);
+  ASSERT_FALSE(cp.empty());
+  EXPECT_EQ(cp.front(), 20u);
+}
+
+TEST(ChangePoints, QuietSeriesHasNone) {
+  std::vector<double> v(40, 3.0);
+  const auto cp = change_points(make_series(std::move(v)), 5, 2.0);
+  EXPECT_TRUE(cp.empty());
+}
+
+TEST(Segments, SplitAtBoundaries) {
+  const std::vector<std::size_t> b = {3, 7};
+  const auto segs = segments_from_boundaries(10, b);
+  ASSERT_EQ(segs.size(), 3u);
+  using Seg = std::pair<std::size_t, std::size_t>;
+  EXPECT_EQ(segs[0], (Seg{0, 3}));
+  EXPECT_EQ(segs[1], (Seg{3, 7}));
+  EXPECT_EQ(segs[2], (Seg{7, 10}));
+}
+
+TEST(Segments, NoBoundariesIsWholeRange) {
+  const auto segs = segments_from_boundaries(5, {});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].second, 5u);
+}
+
+TEST(Segments, BoundaryAtEndYieldsNoEmptySegment) {
+  const std::vector<std::size_t> b = {5};
+  const auto segs = segments_from_boundaries(5, b);
+  ASSERT_EQ(segs.size(), 1u);
+  using Seg = std::pair<std::size_t, std::size_t>;
+  EXPECT_EQ(segs[0], (Seg{0, 5}));
+}
+
+}  // namespace
+}  // namespace appclass::trace

@@ -1,0 +1,230 @@
+// appclass command-line interface.
+//
+// Drives the library end to end from a shell:
+//
+//   appclass_cli train <model.txt>
+//       Train the classifier on the five canonical simulated runs and save
+//       the fitted model.
+//   appclass_cli profile <app> <pool.csv> [vm_ram_mb]
+//       Simulate a standalone run of a catalog application on the paper's
+//       testbed, capture its monitoring pool, and write it as CSV.
+//   appclass_cli classify <model.txt> <pool.csv>
+//       Load a model and classify a captured pool: per-class composition,
+//       majority class, and execution time.
+//   appclass_cli info <model.txt>
+//       Summarize a saved model.
+//   appclass_cli features
+//       Run automated relevance/redundancy feature selection over the
+//       training runs and print the chosen metrics.
+//   appclass_cli apps
+//       List catalog application names.
+//   appclass_cli trace-record <app> <trace.csv>
+//       Run an application and record its per-second demand trace.
+//   appclass_cli trace-replay <trace.csv> <pool.csv>
+//       Replay a recorded trace in a fresh VM and capture its pool.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/feature_selection.hpp"
+#include "workloads/trace_replay.hpp"
+#include "core/serialize.hpp"
+#include "core/trainer.hpp"
+#include "monitor/harness.hpp"
+#include "sim/testbed.hpp"
+#include "workloads/catalog.hpp"
+
+namespace {
+
+using namespace appclass;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: appclass_cli <command> [args]\n"
+               "  train <model.txt>\n"
+               "  profile <app> <pool.csv> [vm_ram_mb]\n"
+               "  classify <model.txt> <pool.csv>\n"
+               "  info <model.txt>\n"
+               "  features\n"
+               "  apps\n"
+               "  trace-record <app> <trace.csv>\n"
+               "  trace-replay <trace.csv> <pool.csv>\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for write");
+  out << content;
+}
+
+int cmd_train(const std::string& model_path) {
+  std::printf("training on the five canonical simulated runs...\n");
+  const core::ClassificationPipeline pipeline = core::make_trained_pipeline();
+  core::save_pipeline_file(pipeline, model_path);
+  std::printf("model saved to %s (%zu training snapshots, q=%zu, k=%zu)\n",
+              model_path.c_str(), pipeline.knn().training_size(),
+              pipeline.pca().components(), pipeline.knn().k());
+  return 0;
+}
+
+int cmd_profile(const std::string& app, const std::string& pool_path,
+                double vm_ram_mb) {
+  sim::TestbedOptions opts;
+  opts.seed = 20260707;
+  opts.vm1_ram_mb = vm_ram_mb;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  monitor::ClusterMonitor mon(*tb.engine);
+  auto model = workloads::make_by_name(app, static_cast<int>(tb.vm4));
+  if (!model) {
+    std::fprintf(stderr, "unknown application '%s' (try: appclass_cli apps)\n",
+                 app.c_str());
+    return 1;
+  }
+  const auto id = tb.engine->submit(tb.vm1, std::move(model));
+  const auto run = monitor::profile_instance(*tb.engine, mon, id, 5);
+  if (!run.completed) {
+    std::fprintf(stderr, "run did not complete within the tick budget\n");
+    return 1;
+  }
+  write_file(pool_path, metrics::to_csv(run.pool));
+  std::printf("%s ran %lld s in a %.0f MB VM; %zu snapshots -> %s\n",
+              app.c_str(), static_cast<long long>(run.elapsed()), vm_ram_mb,
+              run.pool.size(), pool_path.c_str());
+  return 0;
+}
+
+int cmd_classify(const std::string& model_path,
+                 const std::string& pool_path) {
+  const core::ClassificationPipeline pipeline =
+      core::load_pipeline_file(model_path);
+  const metrics::DataPool pool = metrics::from_csv(read_file(pool_path));
+  if (pool.empty()) {
+    std::fprintf(stderr, "pool %s holds no snapshots\n", pool_path.c_str());
+    return 1;
+  }
+  const core::ClassificationResult result = pipeline.classify(pool);
+  std::printf("node:        %s\n", pool.node_ip().c_str());
+  std::printf("snapshots:   %zu (t0=%lld, t1=%lld)\n", pool.size(),
+              static_cast<long long>(pool.start_time()),
+              static_cast<long long>(pool.end_time()));
+  std::printf("class:       %s\n",
+              std::string(core::to_string(result.application_class)).c_str());
+  std::printf("composition: %s\n", result.composition.to_string().c_str());
+  return 0;
+}
+
+int cmd_info(const std::string& model_path) {
+  const core::ClassificationPipeline pipeline =
+      core::load_pipeline_file(model_path);
+  std::printf("appclass pipeline model\n");
+  std::printf("  selected metrics (%zu):", pipeline.preprocessor().dimension());
+  for (const auto id : pipeline.preprocessor().selected())
+    std::printf(" %s", std::string(metrics::info(id).name).c_str());
+  std::printf("\n  PCA: %zu -> %zu components (%.1f%% variance)\n",
+              pipeline.pca().input_dimension(), pipeline.pca().components(),
+              100.0 * pipeline.pca().captured_variance());
+  std::printf("  k-NN: %zu training points, k=%zu\n",
+              pipeline.knn().training_size(), pipeline.knn().k());
+  return 0;
+}
+
+int cmd_features() {
+  std::printf("profiling training runs and ranking the 33 metrics...\n");
+  const auto pools = core::collect_training_pools();
+  const auto selected = core::select_features(
+      pools, {.target_count = 8, .max_redundancy = 0.97});
+  std::printf("auto-selected metrics:");
+  for (const auto id : selected)
+    std::printf(" %s", std::string(metrics::info(id).name).c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_trace_record(const std::string& app, const std::string& path) {
+  sim::TestbedOptions opts;
+  opts.seed = 20260707;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  auto inner = workloads::make_by_name(app, static_cast<int>(tb.vm4));
+  if (!inner) {
+    std::fprintf(stderr, "unknown application '%s'\n", app.c_str());
+    return 1;
+  }
+  auto recorder = std::make_unique<workloads::TraceRecorder>(std::move(inner));
+  const workloads::TraceRecorder* raw = recorder.get();
+  tb.engine->submit(tb.vm1, std::move(recorder));
+  if (!tb.engine->run_until_done(300000)) {
+    std::fprintf(stderr, "run did not complete\n");
+    return 1;
+  }
+  write_file(path, workloads::trace_to_csv(raw->trace()));
+  std::printf("recorded %zu ticks of %s demand -> %s\n", raw->trace().size(),
+              app.c_str(), path.c_str());
+  return 0;
+}
+
+int cmd_trace_replay(const std::string& trace_path,
+                     const std::string& pool_path) {
+  const auto trace = workloads::trace_from_csv(read_file(trace_path));
+  sim::TestbedOptions opts;
+  opts.seed = 1;
+  opts.four_vms = false;
+  sim::Testbed tb = sim::make_testbed(opts);
+  monitor::ClusterMonitor mon(*tb.engine);
+  const auto id = tb.engine->submit(
+      tb.vm1, std::make_unique<workloads::TraceReplayApp>(trace));
+  const auto run = monitor::profile_instance(*tb.engine, mon, id, 5);
+  if (!run.completed) {
+    std::fprintf(stderr, "replay did not complete\n");
+    return 1;
+  }
+  write_file(pool_path, metrics::to_csv(run.pool));
+  std::printf("replayed %zu ticks of %s; %zu snapshots -> %s\n",
+              trace.size(), trace.app_name.c_str(), run.pool.size(),
+              pool_path.c_str());
+  return 0;
+}
+
+int cmd_apps() {
+  for (const auto& name : workloads::catalog_names())
+    std::printf("%s\n", name.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "train" && argc == 3) return cmd_train(argv[2]);
+    if (command == "profile" && (argc == 4 || argc == 5))
+      return cmd_profile(argv[2], argv[3],
+                         argc == 5 ? std::atof(argv[4]) : 256.0);
+    if (command == "classify" && argc == 4)
+      return cmd_classify(argv[2], argv[3]);
+    if (command == "info" && argc == 3) return cmd_info(argv[2]);
+    if (command == "features" && argc == 2) return cmd_features();
+    if (command == "apps" && argc == 2) return cmd_apps();
+    if (command == "trace-record" && argc == 4)
+      return cmd_trace_record(argv[2], argv[3]);
+    if (command == "trace-replay" && argc == 4)
+      return cmd_trace_replay(argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
