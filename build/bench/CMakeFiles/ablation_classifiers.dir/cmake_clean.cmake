@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_classifiers.dir/ablation_classifiers.cpp.o"
+  "CMakeFiles/ablation_classifiers.dir/ablation_classifiers.cpp.o.d"
+  "ablation_classifiers"
+  "ablation_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pca_q.dir/ablation_pca_q.cpp.o"
+  "CMakeFiles/ablation_pca_q.dir/ablation_pca_q.cpp.o.d"
+  "ablation_pca_q"
+  "ablation_pca_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pca_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_training_size.dir/ablation_training_size.cpp.o"
+  "CMakeFiles/ablation_training_size.dir/ablation_training_size.cpp.o.d"
+  "ablation_training_size"
+  "ablation_training_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_training_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

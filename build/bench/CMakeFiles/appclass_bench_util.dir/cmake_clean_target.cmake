@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libappclass_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_classification.dir/cost_classification.cpp.o"
+  "CMakeFiles/cost_classification.dir/cost_classification.cpp.o.d"
+  "cost_classification"
+  "cost_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_clustering.dir/fig3_clustering.cpp.o"
+  "CMakeFiles/fig3_clustering.dir/fig3_clustering.cpp.o.d"
+  "fig3_clustering"
+  "fig3_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_schedule_throughput.dir/fig4_schedule_throughput.cpp.o"
+  "CMakeFiles/fig4_schedule_throughput.dir/fig4_schedule_throughput.cpp.o.d"
+  "fig4_schedule_throughput"
+  "fig4_schedule_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_schedule_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_scale.dir/greedy_scale.cpp.o"
+  "CMakeFiles/greedy_scale.dir/greedy_scale.cpp.o.d"
+  "greedy_scale"
+  "greedy_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_stages.dir/migration_stages.cpp.o"
+  "CMakeFiles/migration_stages.dir/migration_stages.cpp.o.d"
+  "migration_stages"
+  "migration_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

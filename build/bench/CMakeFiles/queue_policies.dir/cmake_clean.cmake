@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_policies.dir/queue_policies.cpp.o"
+  "CMakeFiles/queue_policies.dir/queue_policies.cpp.o.d"
+  "queue_policies"
+  "queue_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

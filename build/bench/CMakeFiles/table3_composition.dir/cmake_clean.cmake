@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_composition.dir/table3_composition.cpp.o"
+  "CMakeFiles/table3_composition.dir/table3_composition.cpp.o.d"
+  "table3_composition"
+  "table3_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

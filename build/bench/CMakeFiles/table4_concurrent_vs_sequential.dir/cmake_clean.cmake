@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_concurrent_vs_sequential.dir/table4_concurrent_vs_sequential.cpp.o"
+  "CMakeFiles/table4_concurrent_vs_sequential.dir/table4_concurrent_vs_sequential.cpp.o.d"
+  "table4_concurrent_vs_sequential"
+  "table4_concurrent_vs_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_concurrent_vs_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

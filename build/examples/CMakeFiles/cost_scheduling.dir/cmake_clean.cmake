@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_scheduling.dir/cost_scheduling.cpp.o"
+  "CMakeFiles/cost_scheduling.dir/cost_scheduling.cpp.o.d"
+  "cost_scheduling"
+  "cost_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_monitoring.dir/fault_tolerant_monitoring.cpp.o"
+  "CMakeFiles/fault_tolerant_monitoring.dir/fault_tolerant_monitoring.cpp.o.d"
+  "fault_tolerant_monitoring"
+  "fault_tolerant_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

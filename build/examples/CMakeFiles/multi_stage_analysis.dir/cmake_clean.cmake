@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_stage_analysis.dir/multi_stage_analysis.cpp.o"
+  "CMakeFiles/multi_stage_analysis.dir/multi_stage_analysis.cpp.o.d"
+  "multi_stage_analysis"
+  "multi_stage_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_stage_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

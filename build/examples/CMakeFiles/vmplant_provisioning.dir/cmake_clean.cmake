@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmplant_provisioning.dir/vmplant_provisioning.cpp.o"
+  "CMakeFiles/vmplant_provisioning.dir/vmplant_provisioning.cpp.o.d"
+  "vmplant_provisioning"
+  "vmplant_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmplant_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/appdb.cpp" "src/core/CMakeFiles/appclass_core.dir/appdb.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/appdb.cpp.o.d"
+  "/root/repo/src/core/classifiers.cpp" "src/core/CMakeFiles/appclass_core.dir/classifiers.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/classifiers.cpp.o.d"
+  "/root/repo/src/core/composition.cpp" "src/core/CMakeFiles/appclass_core.dir/composition.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/composition.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/appclass_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/core/CMakeFiles/appclass_core.dir/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/evaluation.cpp.o.d"
+  "/root/repo/src/core/feature_selection.cpp" "src/core/CMakeFiles/appclass_core.dir/feature_selection.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/appclass_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/knn.cpp" "src/core/CMakeFiles/appclass_core.dir/knn.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/knn.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/appclass_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/pca.cpp" "src/core/CMakeFiles/appclass_core.dir/pca.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/pca.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/appclass_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/appclass_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/appclass_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/appclass_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/appclass_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/appclass_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/appclass_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/appclass_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/appclass_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/appclass_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appclass_core.dir/appdb.cpp.o"
+  "CMakeFiles/appclass_core.dir/appdb.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/classifiers.cpp.o"
+  "CMakeFiles/appclass_core.dir/classifiers.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/composition.cpp.o"
+  "CMakeFiles/appclass_core.dir/composition.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/cost_model.cpp.o"
+  "CMakeFiles/appclass_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/evaluation.cpp.o"
+  "CMakeFiles/appclass_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/feature_selection.cpp.o"
+  "CMakeFiles/appclass_core.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/incremental.cpp.o"
+  "CMakeFiles/appclass_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/knn.cpp.o"
+  "CMakeFiles/appclass_core.dir/knn.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/online.cpp.o"
+  "CMakeFiles/appclass_core.dir/online.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/pca.cpp.o"
+  "CMakeFiles/appclass_core.dir/pca.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/pipeline.cpp.o"
+  "CMakeFiles/appclass_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/preprocess.cpp.o"
+  "CMakeFiles/appclass_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/serialize.cpp.o"
+  "CMakeFiles/appclass_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/appclass_core.dir/trainer.cpp.o"
+  "CMakeFiles/appclass_core.dir/trainer.cpp.o.d"
+  "libappclass_core.a"
+  "libappclass_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appclass_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libappclass_core.a"
+)

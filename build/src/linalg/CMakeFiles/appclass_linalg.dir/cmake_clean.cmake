@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appclass_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/appclass_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/appclass_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/appclass_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/appclass_linalg.dir/quantile.cpp.o"
+  "CMakeFiles/appclass_linalg.dir/quantile.cpp.o.d"
+  "CMakeFiles/appclass_linalg.dir/random.cpp.o"
+  "CMakeFiles/appclass_linalg.dir/random.cpp.o.d"
+  "CMakeFiles/appclass_linalg.dir/stats.cpp.o"
+  "CMakeFiles/appclass_linalg.dir/stats.cpp.o.d"
+  "libappclass_linalg.a"
+  "libappclass_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appclass_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

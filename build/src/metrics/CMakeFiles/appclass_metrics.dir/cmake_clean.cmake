@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appclass_metrics.dir/schema.cpp.o"
+  "CMakeFiles/appclass_metrics.dir/schema.cpp.o.d"
+  "CMakeFiles/appclass_metrics.dir/snapshot.cpp.o"
+  "CMakeFiles/appclass_metrics.dir/snapshot.cpp.o.d"
+  "libappclass_metrics.a"
+  "libappclass_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appclass_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/bus.cpp" "src/monitor/CMakeFiles/appclass_monitor.dir/bus.cpp.o" "gcc" "src/monitor/CMakeFiles/appclass_monitor.dir/bus.cpp.o.d"
+  "/root/repo/src/monitor/fault_injection.cpp" "src/monitor/CMakeFiles/appclass_monitor.dir/fault_injection.cpp.o" "gcc" "src/monitor/CMakeFiles/appclass_monitor.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/monitor/gmetad.cpp" "src/monitor/CMakeFiles/appclass_monitor.dir/gmetad.cpp.o" "gcc" "src/monitor/CMakeFiles/appclass_monitor.dir/gmetad.cpp.o.d"
+  "/root/repo/src/monitor/harness.cpp" "src/monitor/CMakeFiles/appclass_monitor.dir/harness.cpp.o" "gcc" "src/monitor/CMakeFiles/appclass_monitor.dir/harness.cpp.o.d"
+  "/root/repo/src/monitor/profiler.cpp" "src/monitor/CMakeFiles/appclass_monitor.dir/profiler.cpp.o" "gcc" "src/monitor/CMakeFiles/appclass_monitor.dir/profiler.cpp.o.d"
+  "/root/repo/src/monitor/wire.cpp" "src/monitor/CMakeFiles/appclass_monitor.dir/wire.cpp.o" "gcc" "src/monitor/CMakeFiles/appclass_monitor.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/appclass_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/appclass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/appclass_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

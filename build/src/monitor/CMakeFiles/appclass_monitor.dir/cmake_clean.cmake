@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appclass_monitor.dir/bus.cpp.o"
+  "CMakeFiles/appclass_monitor.dir/bus.cpp.o.d"
+  "CMakeFiles/appclass_monitor.dir/fault_injection.cpp.o"
+  "CMakeFiles/appclass_monitor.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/appclass_monitor.dir/gmetad.cpp.o"
+  "CMakeFiles/appclass_monitor.dir/gmetad.cpp.o.d"
+  "CMakeFiles/appclass_monitor.dir/harness.cpp.o"
+  "CMakeFiles/appclass_monitor.dir/harness.cpp.o.d"
+  "CMakeFiles/appclass_monitor.dir/profiler.cpp.o"
+  "CMakeFiles/appclass_monitor.dir/profiler.cpp.o.d"
+  "CMakeFiles/appclass_monitor.dir/wire.cpp.o"
+  "CMakeFiles/appclass_monitor.dir/wire.cpp.o.d"
+  "libappclass_monitor.a"
+  "libappclass_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appclass_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/advisor.cpp" "src/sched/CMakeFiles/appclass_sched.dir/advisor.cpp.o" "gcc" "src/sched/CMakeFiles/appclass_sched.dir/advisor.cpp.o.d"
+  "/root/repo/src/sched/experiment.cpp" "src/sched/CMakeFiles/appclass_sched.dir/experiment.cpp.o" "gcc" "src/sched/CMakeFiles/appclass_sched.dir/experiment.cpp.o.d"
+  "/root/repo/src/sched/greedy.cpp" "src/sched/CMakeFiles/appclass_sched.dir/greedy.cpp.o" "gcc" "src/sched/CMakeFiles/appclass_sched.dir/greedy.cpp.o.d"
+  "/root/repo/src/sched/jobmix.cpp" "src/sched/CMakeFiles/appclass_sched.dir/jobmix.cpp.o" "gcc" "src/sched/CMakeFiles/appclass_sched.dir/jobmix.cpp.o.d"
+  "/root/repo/src/sched/migration.cpp" "src/sched/CMakeFiles/appclass_sched.dir/migration.cpp.o" "gcc" "src/sched/CMakeFiles/appclass_sched.dir/migration.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/appclass_sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/appclass_sched.dir/policy.cpp.o.d"
+  "/root/repo/src/sched/queue.cpp" "src/sched/CMakeFiles/appclass_sched.dir/queue.cpp.o" "gcc" "src/sched/CMakeFiles/appclass_sched.dir/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/appclass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/appclass_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/appclass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/appclass_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/appclass_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/appclass_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

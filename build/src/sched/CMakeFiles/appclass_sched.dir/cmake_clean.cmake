@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appclass_sched.dir/advisor.cpp.o"
+  "CMakeFiles/appclass_sched.dir/advisor.cpp.o.d"
+  "CMakeFiles/appclass_sched.dir/experiment.cpp.o"
+  "CMakeFiles/appclass_sched.dir/experiment.cpp.o.d"
+  "CMakeFiles/appclass_sched.dir/greedy.cpp.o"
+  "CMakeFiles/appclass_sched.dir/greedy.cpp.o.d"
+  "CMakeFiles/appclass_sched.dir/jobmix.cpp.o"
+  "CMakeFiles/appclass_sched.dir/jobmix.cpp.o.d"
+  "CMakeFiles/appclass_sched.dir/migration.cpp.o"
+  "CMakeFiles/appclass_sched.dir/migration.cpp.o.d"
+  "CMakeFiles/appclass_sched.dir/policy.cpp.o"
+  "CMakeFiles/appclass_sched.dir/policy.cpp.o.d"
+  "CMakeFiles/appclass_sched.dir/queue.cpp.o"
+  "CMakeFiles/appclass_sched.dir/queue.cpp.o.d"
+  "libappclass_sched.a"
+  "libappclass_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appclass_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

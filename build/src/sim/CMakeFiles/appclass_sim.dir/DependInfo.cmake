@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/appclass_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/appclass_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/appclass_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/appclass_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/testbed.cpp" "src/sim/CMakeFiles/appclass_sim.dir/testbed.cpp.o" "gcc" "src/sim/CMakeFiles/appclass_sim.dir/testbed.cpp.o.d"
+  "/root/repo/src/sim/vm.cpp" "src/sim/CMakeFiles/appclass_sim.dir/vm.cpp.o" "gcc" "src/sim/CMakeFiles/appclass_sim.dir/vm.cpp.o.d"
+  "/root/repo/src/sim/waterfill.cpp" "src/sim/CMakeFiles/appclass_sim.dir/waterfill.cpp.o" "gcc" "src/sim/CMakeFiles/appclass_sim.dir/waterfill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/appclass_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/appclass_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appclass_sim.dir/engine.cpp.o"
+  "CMakeFiles/appclass_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/appclass_sim.dir/host.cpp.o"
+  "CMakeFiles/appclass_sim.dir/host.cpp.o.d"
+  "CMakeFiles/appclass_sim.dir/testbed.cpp.o"
+  "CMakeFiles/appclass_sim.dir/testbed.cpp.o.d"
+  "CMakeFiles/appclass_sim.dir/vm.cpp.o"
+  "CMakeFiles/appclass_sim.dir/vm.cpp.o.d"
+  "CMakeFiles/appclass_sim.dir/waterfill.cpp.o"
+  "CMakeFiles/appclass_sim.dir/waterfill.cpp.o.d"
+  "libappclass_sim.a"
+  "libappclass_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appclass_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

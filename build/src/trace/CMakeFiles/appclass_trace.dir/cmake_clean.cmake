@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appclass_trace.dir/timeseries.cpp.o"
+  "CMakeFiles/appclass_trace.dir/timeseries.cpp.o.d"
+  "libappclass_trace.a"
+  "libappclass_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appclass_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

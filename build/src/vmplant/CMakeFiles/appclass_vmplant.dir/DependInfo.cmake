@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmplant/dag.cpp" "src/vmplant/CMakeFiles/appclass_vmplant.dir/dag.cpp.o" "gcc" "src/vmplant/CMakeFiles/appclass_vmplant.dir/dag.cpp.o.d"
+  "/root/repo/src/vmplant/plant.cpp" "src/vmplant/CMakeFiles/appclass_vmplant.dir/plant.cpp.o" "gcc" "src/vmplant/CMakeFiles/appclass_vmplant.dir/plant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/appclass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/appclass_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/appclass_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

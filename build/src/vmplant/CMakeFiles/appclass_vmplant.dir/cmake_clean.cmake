@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appclass_vmplant.dir/dag.cpp.o"
+  "CMakeFiles/appclass_vmplant.dir/dag.cpp.o.d"
+  "CMakeFiles/appclass_vmplant.dir/plant.cpp.o"
+  "CMakeFiles/appclass_vmplant.dir/plant.cpp.o.d"
+  "libappclass_vmplant.a"
+  "libappclass_vmplant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appclass_vmplant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

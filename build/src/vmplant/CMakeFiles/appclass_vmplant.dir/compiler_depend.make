@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appclass_vmplant.
+# This may be replaced when dependencies are built.

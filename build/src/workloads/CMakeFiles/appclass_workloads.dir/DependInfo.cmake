@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps/autobench.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/autobench.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/autobench.cpp.o.d"
+  "/root/repo/src/workloads/apps/bonnie.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/bonnie.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/bonnie.cpp.o.d"
+  "/root/repo/src/workloads/apps/ch3d.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/ch3d.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/ch3d.cpp.o.d"
+  "/root/repo/src/workloads/apps/ettcp.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/ettcp.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/ettcp.cpp.o.d"
+  "/root/repo/src/workloads/apps/idle.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/idle.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/idle.cpp.o.d"
+  "/root/repo/src/workloads/apps/netpipe.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/netpipe.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/netpipe.cpp.o.d"
+  "/root/repo/src/workloads/apps/pagebench.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/pagebench.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/pagebench.cpp.o.d"
+  "/root/repo/src/workloads/apps/postmark.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/postmark.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/postmark.cpp.o.d"
+  "/root/repo/src/workloads/apps/sftp.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/sftp.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/sftp.cpp.o.d"
+  "/root/repo/src/workloads/apps/simplescalar.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/simplescalar.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/simplescalar.cpp.o.d"
+  "/root/repo/src/workloads/apps/specseis.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/specseis.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/specseis.cpp.o.d"
+  "/root/repo/src/workloads/apps/stream.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/stream.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/stream.cpp.o.d"
+  "/root/repo/src/workloads/apps/vmd.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/vmd.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/vmd.cpp.o.d"
+  "/root/repo/src/workloads/apps/xspim.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/xspim.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/apps/xspim.cpp.o.d"
+  "/root/repo/src/workloads/catalog.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/catalog.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/catalog.cpp.o.d"
+  "/root/repo/src/workloads/interactive_app.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/interactive_app.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/interactive_app.cpp.o.d"
+  "/root/repo/src/workloads/phased_app.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/phased_app.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/phased_app.cpp.o.d"
+  "/root/repo/src/workloads/trace_replay.cpp" "src/workloads/CMakeFiles/appclass_workloads.dir/trace_replay.cpp.o" "gcc" "src/workloads/CMakeFiles/appclass_workloads.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/appclass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/appclass_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/appclass_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_appdb_test.dir/core_appdb_test.cpp.o"
+  "CMakeFiles/core_appdb_test.dir/core_appdb_test.cpp.o.d"
+  "core_appdb_test"
+  "core_appdb_test.pdb"
+  "core_appdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_appdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_composition_test.dir/core_composition_test.cpp.o"
+  "CMakeFiles/core_composition_test.dir/core_composition_test.cpp.o.d"
+  "core_composition_test"
+  "core_composition_test.pdb"
+  "core_composition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_composition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_confidence_test.dir/core_confidence_test.cpp.o"
+  "CMakeFiles/core_confidence_test.dir/core_confidence_test.cpp.o.d"
+  "core_confidence_test"
+  "core_confidence_test.pdb"
+  "core_confidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_confidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

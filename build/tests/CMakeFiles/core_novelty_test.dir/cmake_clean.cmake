@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_novelty_test.dir/core_novelty_test.cpp.o"
+  "CMakeFiles/core_novelty_test.dir/core_novelty_test.cpp.o.d"
+  "core_novelty_test"
+  "core_novelty_test.pdb"
+  "core_novelty_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_novelty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_quantile_test.dir/linalg_quantile_test.cpp.o"
+  "CMakeFiles/linalg_quantile_test.dir/linalg_quantile_test.cpp.o.d"
+  "linalg_quantile_test"
+  "linalg_quantile_test.pdb"
+  "linalg_quantile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_fault_test.dir/monitor_fault_test.cpp.o"
+  "CMakeFiles/monitor_fault_test.dir/monitor_fault_test.cpp.o.d"
+  "monitor_fault_test"
+  "monitor_fault_test.pdb"
+  "monitor_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_gmetad_test.dir/monitor_gmetad_test.cpp.o"
+  "CMakeFiles/monitor_gmetad_test.dir/monitor_gmetad_test.cpp.o.d"
+  "monitor_gmetad_test"
+  "monitor_gmetad_test.pdb"
+  "monitor_gmetad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_gmetad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

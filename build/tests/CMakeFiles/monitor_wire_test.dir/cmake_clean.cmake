@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_wire_test.dir/monitor_wire_test.cpp.o"
+  "CMakeFiles/monitor_wire_test.dir/monitor_wire_test.cpp.o.d"
+  "monitor_wire_test"
+  "monitor_wire_test.pdb"
+  "monitor_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched_advisor_test.cpp" "tests/CMakeFiles/sched_advisor_test.dir/sched_advisor_test.cpp.o" "gcc" "tests/CMakeFiles/sched_advisor_test.dir/sched_advisor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/appclass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/appclass_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/appclass_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/appclass_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/appclass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/appclass_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/appclass_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/appclass_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmplant/CMakeFiles/appclass_vmplant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_advisor_test.dir/sched_advisor_test.cpp.o"
+  "CMakeFiles/sched_advisor_test.dir/sched_advisor_test.cpp.o.d"
+  "sched_advisor_test"
+  "sched_advisor_test.pdb"
+  "sched_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

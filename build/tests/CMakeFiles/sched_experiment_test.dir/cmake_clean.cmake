@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_experiment_test.dir/sched_experiment_test.cpp.o"
+  "CMakeFiles/sched_experiment_test.dir/sched_experiment_test.cpp.o.d"
+  "sched_experiment_test"
+  "sched_experiment_test.pdb"
+  "sched_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

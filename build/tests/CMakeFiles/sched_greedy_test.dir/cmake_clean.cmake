@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_greedy_test.dir/sched_greedy_test.cpp.o"
+  "CMakeFiles/sched_greedy_test.dir/sched_greedy_test.cpp.o.d"
+  "sched_greedy_test"
+  "sched_greedy_test.pdb"
+  "sched_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_jobmix_test.dir/sched_jobmix_test.cpp.o"
+  "CMakeFiles/sched_jobmix_test.dir/sched_jobmix_test.cpp.o.d"
+  "sched_jobmix_test"
+  "sched_jobmix_test.pdb"
+  "sched_jobmix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_jobmix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_migration_test.dir/sim_migration_test.cpp.o"
+  "CMakeFiles/sim_migration_test.dir/sim_migration_test.cpp.o.d"
+  "sim_migration_test"
+  "sim_migration_test.pdb"
+  "sim_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

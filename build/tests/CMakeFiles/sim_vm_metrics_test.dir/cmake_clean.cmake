@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_vm_metrics_test.dir/sim_vm_metrics_test.cpp.o"
+  "CMakeFiles/sim_vm_metrics_test.dir/sim_vm_metrics_test.cpp.o.d"
+  "sim_vm_metrics_test"
+  "sim_vm_metrics_test.pdb"
+  "sim_vm_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_vm_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

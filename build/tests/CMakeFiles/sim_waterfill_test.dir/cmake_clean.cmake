@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_waterfill_test.dir/sim_waterfill_test.cpp.o"
+  "CMakeFiles/sim_waterfill_test.dir/sim_waterfill_test.cpp.o.d"
+  "sim_waterfill_test"
+  "sim_waterfill_test.pdb"
+  "sim_waterfill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_waterfill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

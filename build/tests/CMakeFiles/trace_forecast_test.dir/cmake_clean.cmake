@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_forecast_test.dir/trace_forecast_test.cpp.o"
+  "CMakeFiles/trace_forecast_test.dir/trace_forecast_test.cpp.o.d"
+  "trace_forecast_test"
+  "trace_forecast_test.pdb"
+  "trace_forecast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_forecast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmplant_test.dir/vmplant_test.cpp.o"
+  "CMakeFiles/vmplant_test.dir/vmplant_test.cpp.o.d"
+  "vmplant_test"
+  "vmplant_test.pdb"
+  "vmplant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmplant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

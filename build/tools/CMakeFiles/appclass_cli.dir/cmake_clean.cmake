@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appclass_cli.dir/appclass_cli.cpp.o"
+  "CMakeFiles/appclass_cli.dir/appclass_cli.cpp.o.d"
+  "appclass_cli"
+  "appclass_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appclass_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

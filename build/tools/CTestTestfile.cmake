@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_train "/root/repo/build/tools/appclass_cli" "train" "/root/repo/build/tools/model.txt")
+set_tests_properties(cli_train PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_profile "/root/repo/build/tools/appclass_cli" "profile" "postmark" "/root/repo/build/tools/pool.csv")
+set_tests_properties(cli_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_classify "/root/repo/build/tools/appclass_cli" "classify" "/root/repo/build/tools/model.txt" "/root/repo/build/tools/pool.csv")
+set_tests_properties(cli_classify PROPERTIES  DEPENDS "cli_train;cli_profile" PASS_REGULAR_EXPRESSION "class:       io" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/appclass_cli" "info" "/root/repo/build/tools/model.txt")
+set_tests_properties(cli_info PROPERTIES  DEPENDS "cli_train" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_apps "/root/repo/build/tools/appclass_cli" "apps")
+set_tests_properties(cli_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_record "/root/repo/build/tools/appclass_cli" "trace-record" "postmark" "/root/repo/build/tools/trace.csv")
+set_tests_properties(cli_trace_record PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_replay "/root/repo/build/tools/appclass_cli" "trace-replay" "/root/repo/build/tools/trace.csv" "/root/repo/build/tools/replay_pool.csv")
+set_tests_properties(cli_trace_replay PROPERTIES  DEPENDS "cli_trace_record" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/appclass_cli" "frobnicate")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
