@@ -1,12 +1,48 @@
 #include "bench_util.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/assert.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sim/testbed.hpp"
 #include "workloads/catalog.hpp"
 
 namespace appclass::bench {
+namespace {
+
+void dump_registry_now() {
+  const char* mode = std::getenv("APPCLASS_BENCH_STATS");
+  if (mode && (!std::strcmp(mode, "0") || !std::strcmp(mode, "off")))
+    return;
+  obs::ExportFormat format = obs::ExportFormat::kTable;
+  if (mode && !std::strcmp(mode, "json")) format = obs::ExportFormat::kJson;
+  if (mode && !std::strcmp(mode, "prom"))
+    format = obs::ExportFormat::kPrometheus;
+  const auto snapshot = obs::MetricsRegistry::global().snapshot();
+  if (snapshot.empty()) return;
+  const std::string report = obs::export_as(snapshot, format);
+  if (format == obs::ExportFormat::kTable)
+    std::fprintf(stderr, "\n== obs metrics registry ==\n");
+  std::fwrite(report.data(), 1, report.size(), stderr);
+}
+
+struct RegistryDumper {
+  RegistryDumper() {
+    // Force the registry's construction before registering the handler so
+    // it outlives (is destroyed after) anything the handler touches.
+    obs::MetricsRegistry::global();
+    std::atexit(dump_registry_now);
+  }
+};
+
+// One per process: every bench binary links bench_util, so every bench
+// run ends with its registry snapshot on stderr.
+const RegistryDumper g_registry_dumper;
+
+}  // namespace
 
 monitor::ProfiledRun profile_standalone(const std::string& app_name,
                                         double vm1_ram_mb, std::uint64_t seed,
@@ -33,6 +69,12 @@ const core::ClassificationPipeline& trained_pipeline() {
 void print_composition_header() {
   std::printf("%-18s %8s %8s %8s %8s %8s %8s  %s\n", "application",
               "samples", "idle%", "io%", "cpu%", "net%", "paging%", "class");
+}
+
+void dump_registry_at_exit() {
+  // The static dumper does the work; this function exists so bench mains
+  // can force-link the registration in builds that dead-strip statics.
+  (void)g_registry_dumper;
 }
 
 void print_composition_row(const std::string& label,

@@ -28,4 +28,11 @@ void print_composition_row(const std::string& label,
 
 void print_composition_header();
 
+/// Every bench binary linking bench_util dumps the obs metrics registry
+/// (stage timings, counters) to stderr when the process exits, so each
+/// benchmark's results carry their observability snapshot. Controlled by
+/// APPCLASS_BENCH_STATS: unset or "table" = summary table, "json" = one
+/// JSON object, "prom" = Prometheus text, "0"/"off" = disabled.
+void dump_registry_at_exit();
+
 }  // namespace appclass::bench

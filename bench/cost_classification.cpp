@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/pipeline.hpp"
 #include "core/trainer.hpp"
 #include "monitor/profiler.hpp"
@@ -109,4 +110,13 @@ BENCHMARK(BM_PcaTransformPerSample)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull in the bench_util registry dumper so this binary's exit carries
+  // the stage-timing snapshot alongside the google-benchmark results.
+  appclass::bench::dump_registry_at_exit();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

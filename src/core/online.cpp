@@ -1,8 +1,29 @@
 #include "core/online.hpp"
 
 #include "common/assert.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace appclass::core {
+namespace {
+
+struct OnlineMetrics {
+  obs::Histogram& observe_seconds = obs::stage_histogram("online_observe");
+  obs::Counter& observed = obs::MetricsRegistry::global().counter(
+      "appclass_online_observations_total");
+  obs::Counter& skipped = obs::MetricsRegistry::global().counter(
+      "appclass_online_skipped_total");
+  obs::Counter& changes = obs::MetricsRegistry::global().counter(
+      "appclass_online_behaviour_changes_total");
+};
+
+OnlineMetrics& online_metrics() {
+  static OnlineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 OnlineClassifier::OnlineClassifier(const ClassificationPipeline& pipeline,
                                    OnlineOptions options)
@@ -15,8 +36,14 @@ OnlineClassifier::OnlineClassifier(const ClassificationPipeline& pipeline,
 
 std::optional<ApplicationClass> OnlineClassifier::observe(
     const metrics::Snapshot& snapshot) {
-  if (snapshot.time % options_.sampling_interval_s != 0) return std::nullopt;
+  OnlineMetrics& om = online_metrics();
+  if (snapshot.time % options_.sampling_interval_s != 0) {
+    om.skipped.inc();
+    return std::nullopt;
+  }
 
+  obs::ScopedTimer observe_timer(om.observe_seconds);
+  om.observed.inc();
   const ApplicationClass label = pipeline_.classify(snapshot);
   ++classified_;
 
@@ -43,6 +70,11 @@ std::optional<ApplicationClass> OnlineClassifier::observe(
                                    *node.stable_class, dominant};
       node.stable_class = dominant;
       node.candidate_streak = 0;
+      om.changes.inc();
+      APPCLASS_LOG_DEBUG("online.behaviour_change", {"node", change.node_ip},
+                         {"time", change.time},
+                         {"from", to_string(change.from)},
+                         {"to", to_string(change.to)});
       if (callback_) callback_(change);
     }
   } else {

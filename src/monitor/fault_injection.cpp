@@ -3,8 +3,29 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace appclass::monitor {
+namespace {
+
+struct FaultMetrics {
+  obs::Counter& delivered = obs::MetricsRegistry::global().counter(
+      "appclass_fault_delivered_total");
+  obs::Counter& dropped_blackout = obs::MetricsRegistry::global().counter(
+      "appclass_fault_dropped_total", {{"reason", "blackout"}});
+  obs::Counter& dropped_random = obs::MetricsRegistry::global().counter(
+      "appclass_fault_dropped_total", {{"reason", "drop"}});
+  obs::Counter& blackouts = obs::MetricsRegistry::global().counter(
+      "appclass_fault_blackouts_total");
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 FaultyChannel::FaultyChannel(MetricBus& source, MetricBus& target,
                              FaultOptions options, std::uint64_t seed)
@@ -20,6 +41,7 @@ FaultyChannel::FaultyChannel(MetricBus& source, MetricBus& target,
 FaultyChannel::~FaultyChannel() { source_.unsubscribe(subscription_); }
 
 void FaultyChannel::relay(const metrics::Snapshot& snapshot) {
+  FaultMetrics& fm = fault_metrics();
   // Node blackout?
   const auto it = std::find_if(
       blackouts_.begin(), blackouts_.end(),
@@ -27,6 +49,7 @@ void FaultyChannel::relay(const metrics::Snapshot& snapshot) {
   if (it != blackouts_.end()) {
     if (snapshot.time < it->second) {
       ++dropped_;
+      fm.dropped_blackout.inc();
       return;
     }
     blackouts_.erase(it);
@@ -36,14 +59,21 @@ void FaultyChannel::relay(const metrics::Snapshot& snapshot) {
     blackouts_.emplace_back(snapshot.node_ip,
                             snapshot.time + options_.blackout_s);
     ++dropped_;
+    fm.blackouts.inc();
+    fm.dropped_blackout.inc();
+    APPCLASS_LOG_DEBUG("fault.blackout", {"node", snapshot.node_ip},
+                       {"from", snapshot.time},
+                       {"until", snapshot.time + options_.blackout_s});
     return;
   }
   if (options_.drop_probability > 0.0 &&
       rng_.bernoulli(options_.drop_probability)) {
     ++dropped_;
+    fm.dropped_random.inc();
     return;
   }
   ++delivered_;
+  fm.delivered.inc();
   target_.announce(snapshot);
 }
 

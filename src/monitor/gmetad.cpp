@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace appclass::monitor {
+namespace {
+
+struct GmetadMetrics {
+  obs::Counter& announcements = obs::MetricsRegistry::global().counter(
+      "appclass_gmetad_announcements_total");
+  obs::Gauge& nodes =
+      obs::MetricsRegistry::global().gauge("appclass_gmetad_nodes");
+};
+
+GmetadMetrics& gmetad_metrics() {
+  static GmetadMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 Gmetad::Gmetad(MetricBus& bus, metrics::SimTime liveness_timeout_s)
     : bus_(bus), liveness_timeout_s_(liveness_timeout_s) {
@@ -18,6 +34,9 @@ Gmetad::~Gmetad() { bus_.unsubscribe(subscription_); }
 void Gmetad::on_announce(const metrics::Snapshot& snapshot) {
   newest_time_ = std::max(newest_time_, snapshot.time);
   latest_[snapshot.node_ip] = snapshot;
+  GmetadMetrics& gm = gmetad_metrics();
+  gm.announcements.inc();
+  gm.nodes.set(static_cast<double>(latest_.size()));
 }
 
 bool Gmetad::alive(const metrics::Snapshot& snapshot) const {

@@ -1,0 +1,29 @@
+// Exporters for a RegistrySnapshot:
+//   * to_table()      — aligned human-readable summary (CLI `--stats`)
+//   * to_json()       — one JSON object (BENCH_*.json sidecars, tooling)
+//   * to_prometheus() — Prometheus text exposition format 0.0.4
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace appclass::obs {
+
+enum class ExportFormat { kTable, kJson, kPrometheus };
+
+std::string to_table(const RegistrySnapshot& snapshot);
+std::string to_json(const RegistrySnapshot& snapshot);
+std::string to_prometheus(const RegistrySnapshot& snapshot);
+
+inline std::string export_as(const RegistrySnapshot& snapshot,
+                             ExportFormat format) {
+  switch (format) {
+    case ExportFormat::kJson: return to_json(snapshot);
+    case ExportFormat::kPrometheus: return to_prometheus(snapshot);
+    case ExportFormat::kTable: break;
+  }
+  return to_table(snapshot);
+}
+
+}  // namespace appclass::obs

@@ -1,0 +1,10 @@
+#include "obs/span.hpp"
+
+namespace appclass::obs {
+
+Histogram& stage_histogram(std::string_view stage) {
+  return MetricsRegistry::global().histogram(
+      "appclass_stage_seconds", {{"stage", std::string(stage)}});
+}
+
+}  // namespace appclass::obs

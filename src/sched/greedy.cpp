@@ -6,10 +6,29 @@
 #include <numeric>
 
 #include "common/assert.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/testbed.hpp"
 #include "workloads/catalog.hpp"
 
 namespace appclass::sched {
+namespace {
+
+struct GreedyMetrics {
+  obs::Histogram& place_seconds = obs::stage_histogram("greedy_place");
+  obs::Counter& placements = obs::MetricsRegistry::global().counter(
+      "appclass_sched_greedy_placements_total");
+  obs::Counter& jobs_placed = obs::MetricsRegistry::global().counter(
+      "appclass_sched_greedy_jobs_total");
+};
+
+GreedyMetrics& greedy_metrics() {
+  static GreedyMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 int overlap_penalty(const PlacementProblem& problem,
                     const Placement& placement) {
@@ -27,6 +46,8 @@ int overlap_penalty(const PlacementProblem& problem,
 
 Placement greedy_place(const PlacementProblem& problem) {
   APPCLASS_EXPECTS(problem.feasible());
+  GreedyMetrics& gm = greedy_metrics();
+  obs::ScopedTimer place_timer(gm.place_seconds);
   Placement placement(problem.vm_count);
 
   // Place the most numerous classes first: they are the hardest to spread.
@@ -63,6 +84,13 @@ Placement greedy_place(const PlacementProblem& problem) {
     placement[best_vm].push_back(j);
     ++vm_class[best_vm][cls];
   }
+  const double seconds = place_timer.stop();
+  gm.placements.inc();
+  gm.jobs_placed.inc(problem.jobs.size());
+  APPCLASS_LOG_DEBUG("sched.greedy_place", {"jobs", problem.jobs.size()},
+                     {"vms", problem.vm_count},
+                     {"penalty", overlap_penalty(problem, placement)},
+                     {"seconds", seconds});
   return placement;
 }
 

@@ -7,10 +7,36 @@
 #include "common/assert.hpp"
 #include "linalg/random.hpp"
 #include "monitor/harness.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/testbed.hpp"
 #include "workloads/catalog.hpp"
 
 namespace appclass::sched {
+namespace {
+
+struct QueueMetrics {
+  obs::Histogram& decision_seconds =
+      obs::stage_histogram("dispatch_decision");
+  obs::Counter& dispatched = obs::MetricsRegistry::global().counter(
+      "appclass_sched_dispatched_total");
+  obs::Counter& completed = obs::MetricsRegistry::global().counter(
+      "appclass_sched_completed_total");
+};
+
+QueueMetrics& queue_metrics() {
+  static QueueMetrics metrics;
+  return metrics;
+}
+
+obs::Counter& placement_counter(std::size_t vm_index) {
+  return obs::MetricsRegistry::global().counter(
+      "appclass_sched_placements_total",
+      {{"vm", std::to_string(vm_index)}});
+}
+
+}  // namespace
 
 DispatchPolicy round_robin_policy() {
   return [](const DispatchContext& ctx) {
@@ -145,8 +171,16 @@ DispatchOutcome run_arrival_experiment(std::vector<ArrivingJob> jobs,
                                 host_of,
                                 gmetad,
                                 next_arrival};
+      QueueMetrics& qm = queue_metrics();
+      obs::ScopedTimer decision_timer(qm.decision_seconds);
       const std::size_t v = policy(ctx);
+      decision_timer.stop();
       APPCLASS_ENSURES(v < vms.size());
+      qm.dispatched.inc();
+      placement_counter(v).inc();
+      APPCLASS_LOG_TRACE("sched.dispatch", {"job", job.app},
+                         {"class", core::to_string(job.cls)}, {"vm", v},
+                         {"time", engine.now()});
       auto model = workloads::make_by_name(job.app, static_cast<int>(peer));
       APPCLASS_EXPECTS(model != nullptr);
       const auto instance = engine.submit(vms[v], std::move(model));
@@ -171,6 +205,7 @@ DispatchOutcome run_arrival_experiment(std::vector<ArrivingJob> jobs,
         --running_by_class[it->vm_index]
             [core::index_of(out.jobs[it->job_index].cls)];
         ++finished;
+        queue_metrics().completed.inc();
         it = dispatched.erase(it);
       } else {
         ++it;

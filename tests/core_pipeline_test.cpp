@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core_test_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace appclass::core {
 namespace {
@@ -102,6 +103,54 @@ TEST(Pipeline, VarianceThresholdPathSelectsComponents) {
   pipeline.train(testing::synthetic_training());
   EXPECT_GE(pipeline.pca().components(), 1u);
   EXPECT_GE(pipeline.pca().captured_variance(), 0.55);
+}
+
+// The registry is process-global and other tests in this binary also
+// classify, so all observability assertions work on before/after deltas.
+TEST(PipelineObservability, TrainAndClassifyPopulateStageHistograms) {
+  auto& registry = obs::MetricsRegistry::global();
+  const auto hist_count = [&](const char* stage) -> std::uint64_t {
+    const auto* h = registry.snapshot().find_histogram(
+        "appclass_stage_seconds", {{"stage", stage}});
+    return h ? h->count : 0;
+  };
+  const auto counter_value = [&](const char* name) -> std::uint64_t {
+    const auto* c = registry.snapshot().find_counter(name);
+    return c ? c->value : 0;
+  };
+
+  const std::uint64_t preprocess0 = hist_count("preprocess");
+  const std::uint64_t pca_fit0 = hist_count("pca_fit");
+  const std::uint64_t pca_project0 = hist_count("pca_project");
+  const std::uint64_t knn0 = hist_count("knn_query");
+  const std::uint64_t vote0 = hist_count("vote");
+  const std::uint64_t trains0 = counter_value("appclass_pipeline_train_total");
+  const std::uint64_t snaps0 =
+      counter_value("appclass_pipeline_snapshots_classified_total");
+
+  ClassificationPipeline pipeline;
+  pipeline.train(testing::synthetic_training());
+  const auto pool = testing::synthetic_pool(ApplicationClass::kCpu, 23, 7);
+  const auto result = pipeline.classify(pool);
+  ASSERT_EQ(result.class_vector.size(), 23u);
+
+  // Every stage histogram gained observations...
+  EXPECT_GT(hist_count("preprocess"), preprocess0);
+  EXPECT_GT(hist_count("pca_fit"), pca_fit0);
+  EXPECT_GT(hist_count("pca_project"), pca_project0);
+  EXPECT_GT(hist_count("vote"), vote0);
+  // ...and knn_query advanced by exactly one count per snapshot.
+  EXPECT_EQ(hist_count("knn_query"), knn0 + 23u);
+  EXPECT_EQ(counter_value("appclass_pipeline_train_total"), trains0 + 1u);
+  EXPECT_EQ(counter_value("appclass_pipeline_snapshots_classified_total"),
+            snaps0 + 23u);
+
+  // The per-snapshot (online) path counts snapshots too.
+  const std::uint64_t snaps1 =
+      counter_value("appclass_pipeline_snapshots_classified_total");
+  (void)pipeline.classify(pool[0]);
+  EXPECT_EQ(counter_value("appclass_pipeline_snapshots_classified_total"),
+            snaps1 + 1u);
 }
 
 TEST(Pipeline, LargerKStillSeparatesCleanClusters) {

@@ -1,0 +1,102 @@
+#include "obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace appclass::obs {
+namespace {
+
+/// Captures log lines in memory and restores the logger on teardown.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::global().set_sink(
+        [this](const std::string& line) { lines_.push_back(line); });
+  }
+  void TearDown() override {
+    Logger::global().set_level(LogLevel::kOff);
+    Logger::global().reset_sink();
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, DisabledLevelEmitsNothing) {
+  Logger::global().set_level(LogLevel::kWarn);
+  APPCLASS_LOG_INFO("quiet.event", {"k", "v"});
+  APPCLASS_LOG_DEBUG("quieter.event");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, EnabledLevelEmitsStructuredLine) {
+  Logger::global().set_level(LogLevel::kInfo);
+  APPCLASS_LOG_INFO("pipeline.train", {"snapshots", 200}, {"q", 2});
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_NE(line.find("INFO pipeline.train"), std::string::npos);
+  EXPECT_NE(line.find("snapshots=200"), std::string::npos);
+  EXPECT_NE(line.find("q=2"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelOrderingFiltersCorrectly) {
+  Logger::global().set_level(LogLevel::kWarn);
+  APPCLASS_LOG_TRACE("e");
+  APPCLASS_LOG_DEBUG("e");
+  APPCLASS_LOG_INFO("e");
+  APPCLASS_LOG_WARN("warn.event");
+  APPCLASS_LOG_ERROR("error.event");
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_NE(lines_[0].find("WARN warn.event"), std::string::npos);
+  EXPECT_NE(lines_[1].find("ERROR error.event"), std::string::npos);
+}
+
+TEST_F(LogTest, FieldFormatting) {
+  Logger::global().set_level(LogLevel::kTrace);
+  APPCLASS_LOG_INFO("fmt", {"str", "plain"}, {"quoted", "has space"},
+                    {"flag", true}, {"neg", -7}, {"pi", 3.25},
+                    {"empty", ""});
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_NE(line.find("str=plain"), std::string::npos);
+  EXPECT_NE(line.find("quoted=\"has space\""), std::string::npos);
+  EXPECT_NE(line.find("flag=true"), std::string::npos);
+  EXPECT_NE(line.find("neg=-7"), std::string::npos);
+  EXPECT_NE(line.find("pi=3.25"), std::string::npos);
+  EXPECT_NE(line.find("empty=\"\""), std::string::npos);
+}
+
+TEST_F(LogTest, QuotesAndBackslashesAreEscaped) {
+  Logger::global().set_level(LogLevel::kInfo);
+  APPCLASS_LOG_INFO("esc", {"v", "say \"hi\""});
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("v=\"say \\\"hi\\\"\""), std::string::npos);
+}
+
+TEST_F(LogTest, DisabledGuardSkipsArgumentEvaluation) {
+  Logger::global().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("value");
+  };
+  APPCLASS_LOG_DEBUG("lazy", {"k", expensive()});
+  EXPECT_EQ(evaluations, 0);
+  APPCLASS_LOG_ERROR("eager", {"k", expensive()});
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogLevelParsing, NamesRoundTrip) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+}
+
+}  // namespace
+}  // namespace appclass::obs

@@ -22,13 +22,24 @@
 //       Run an application and record its per-second demand trace.
 //   appclass_cli trace-replay <trace.csv> <pool.csv>
 //       Replay a recorded trace in a fresh VM and capture its pool.
+//
+// Global flags (any position, any subcommand):
+//   --log-level=<trace|debug|info|warn|error|off>
+//       Structured logging to stderr (default: off, or APPCLASS_LOG_LEVEL).
+//   --stats[=json|prom]
+//       After the command, print the metrics-registry snapshot (stage
+//       timing histograms, counters) as a table, JSON, or Prometheus text.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/feature_selection.hpp"
+#include "obs/export.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "workloads/trace_replay.hpp"
 #include "core/serialize.hpp"
 #include "core/trainer.hpp"
@@ -42,7 +53,8 @@ using namespace appclass;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: appclass_cli <command> [args]\n"
+               "usage: appclass_cli [--log-level=<lvl>] [--stats[=json|prom]]"
+               " <command> [args]\n"
                "  train <model.txt>\n"
                "  profile <app> <pool.csv> [vm_ram_mb]\n"
                "  classify <model.txt> <pool.csv>\n"
@@ -50,7 +62,12 @@ int usage() {
                "  features\n"
                "  apps\n"
                "  trace-record <app> <trace.csv>\n"
-               "  trace-replay <trace.csv> <pool.csv>\n");
+               "  trace-replay <trace.csv> <pool.csv>\n"
+               "flags:\n"
+               "  --log-level=<trace|debug|info|warn|error|off>  stderr "
+               "logging (default off)\n"
+               "  --stats[=json|prom]  print the metrics registry snapshot "
+               "after the command\n");
   return 2;
 }
 
@@ -203,28 +220,78 @@ int cmd_apps() {
   return 0;
 }
 
+int run_command(const std::vector<std::string>& args) {
+  const std::size_t argc = args.size();
+  if (argc < 2) return usage();
+  const std::string& command = args[1];
+  if (command == "train" && argc == 3) return cmd_train(args[2]);
+  if (command == "profile" && (argc == 4 || argc == 5))
+    return cmd_profile(args[2], args[3],
+                       argc == 5 ? std::atof(args[4].c_str()) : 256.0);
+  if (command == "classify" && argc == 4) return cmd_classify(args[2], args[3]);
+  if (command == "info" && argc == 3) return cmd_info(args[2]);
+  if (command == "features" && argc == 2) return cmd_features();
+  if (command == "apps" && argc == 2) return cmd_apps();
+  if (command == "trace-record" && argc == 4)
+    return cmd_trace_record(args[2], args[3]);
+  if (command == "trace-replay" && argc == 4)
+    return cmd_trace_replay(args[2], args[3]);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
+  obs::Logger::global().configure_from_env();
+
+  bool stats = false;
+  obs::ExportFormat stats_format = obs::ExportFormat::kTable;
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--log-level=", 0) == 0) {
+      const std::string level = arg.substr(std::strlen("--log-level="));
+      // An invalid name falls back to whichever fallback we pass, so two
+      // parses with different fallbacks disagreeing means "unknown".
+      const obs::LogLevel parsed =
+          obs::parse_log_level(level, obs::LogLevel::kOff);
+      if (parsed != obs::parse_log_level(level, obs::LogLevel::kTrace)) {
+        std::fprintf(stderr, "unknown log level '%s'\n", level.c_str());
+        return 2;
+      }
+      obs::Logger::global().set_level(parsed);
+    } else if (arg == "--stats" || arg == "--stats=table") {
+      stats = true;
+    } else if (arg == "--stats=json") {
+      stats = true;
+      stats_format = obs::ExportFormat::kJson;
+    } else if (arg == "--stats=prom") {
+      stats = true;
+      stats_format = obs::ExportFormat::kPrometheus;
+    } else if (arg.rfind("--stats=", 0) == 0) {
+      std::fprintf(stderr,
+                   "unknown stats format '%s' (expected table, json, prom)\n",
+                   arg.substr(std::strlen("--stats=")).c_str());
+      return 2;
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  int status = 2;
   try {
-    if (command == "train" && argc == 3) return cmd_train(argv[2]);
-    if (command == "profile" && (argc == 4 || argc == 5))
-      return cmd_profile(argv[2], argv[3],
-                         argc == 5 ? std::atof(argv[4]) : 256.0);
-    if (command == "classify" && argc == 4)
-      return cmd_classify(argv[2], argv[3]);
-    if (command == "info" && argc == 3) return cmd_info(argv[2]);
-    if (command == "features" && argc == 2) return cmd_features();
-    if (command == "apps" && argc == 2) return cmd_apps();
-    if (command == "trace-record" && argc == 4)
-      return cmd_trace_record(argv[2], argv[3]);
-    if (command == "trace-replay" && argc == 4)
-      return cmd_trace_replay(argv[2], argv[3]);
+    status = run_command(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    status = 1;
   }
-  return usage();
+  if (stats) {
+    const std::string report = obs::export_as(
+        obs::MetricsRegistry::global().snapshot(), stats_format);
+    if (stats_format == obs::ExportFormat::kTable)
+      std::printf("\n== metrics registry ==\n");
+    std::fwrite(report.data(), 1, report.size(), stdout);
+  }
+  return status;
 }
