@@ -1,0 +1,45 @@
+// Robustness curve: classification accuracy vs monitoring-fault intensity.
+//
+// Sweeps every fault kind (drop, blackout, corruption, duplication, stale
+// replay, per-sensor dropout, and the mixed drop+corrupt case) across a
+// rate grid over the five canonical workloads, with the snapshot
+// sanitizer both on and off, and prints the CSV accuracy-degradation
+// curve. This is the quantitative form of the paper's implicit assumption
+// that Ganglia's lossy transport is good enough for classification — and
+// the regression target that keeps it true (docs/robustness.md).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/robustness.hpp"
+
+int main() {
+  using namespace appclass;
+  bench::dump_registry_at_exit();
+
+  const core::ClassificationPipeline& pipeline = bench::trained_pipeline();
+  core::ChaosOptions options;
+  const auto runs = core::record_canonical_runs(options);
+
+  std::fprintf(stderr,
+               "robustness_curve: %zu workloads x %zu kinds x %zu rates, "
+               "sanitizer on+off\n",
+               runs.size(), core::all_fault_kinds().size(),
+               options.rates.size());
+
+  options.sanitize = true;
+  auto cells = core::run_chaos_sweep(pipeline, runs, options);
+  options.sanitize = false;
+  const auto raw_cells = core::run_chaos_sweep(pipeline, runs, options);
+  cells.insert(cells.end(), raw_cells.begin(), raw_cells.end());
+
+  std::fputs(core::chaos_csv(cells).c_str(), stdout);
+
+  std::size_t flipped_sanitized = 0, flipped_raw = 0;
+  for (const auto& c : cells)
+    if (!c.majority_ok) (c.sanitized ? flipped_sanitized : flipped_raw)++;
+  std::fprintf(stderr,
+               "majority flips: %zu with sanitizer, %zu without (of %zu "
+               "cells each)\n",
+               flipped_sanitized, flipped_raw, cells.size() / 2);
+  return 0;
+}

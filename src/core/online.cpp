@@ -1,5 +1,8 @@
 #include "core/online.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/assert.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -16,6 +19,8 @@ struct OnlineMetrics {
       "appclass_online_skipped_total");
   obs::Counter& changes = obs::MetricsRegistry::global().counter(
       "appclass_online_behaviour_changes_total");
+  obs::Counter& abstained = obs::MetricsRegistry::global().counter(
+      "appclass_online_abstained_total");
 };
 
 OnlineMetrics& online_metrics() {
@@ -32,6 +37,26 @@ OnlineClassifier::OnlineClassifier(const ClassificationPipeline& pipeline,
   APPCLASS_EXPECTS(options.sampling_interval_s >= 1);
   APPCLASS_EXPECTS(options.window >= 1);
   APPCLASS_EXPECTS(options.stability >= 1);
+  APPCLASS_EXPECTS(options.min_coverage >= 0.0 &&
+                   options.min_coverage <= 1.0);
+}
+
+void OnlineClassifier::refresh_window(NodeState& node, metrics::SimTime now) {
+  const metrics::SimTime horizon =
+      static_cast<metrics::SimTime>(options_.window - 1) *
+      options_.sampling_interval_s;
+  while (!node.window.empty() && now - node.window.front().first > horizon)
+    node.window.pop_front();
+
+  // Expected samples: one per grid point inside the horizon, bounded by
+  // how long the node has been observed at all (a young node is not
+  // penalized for samples that predate it).
+  const metrics::SimTime observed_span =
+      std::clamp<metrics::SimTime>(now - node.first_time, 0, horizon);
+  const std::size_t expected = static_cast<std::size_t>(
+      observed_span / options_.sampling_interval_s + 1);
+  node.coverage = static_cast<double>(node.window.size()) /
+                  static_cast<double>(std::max<std::size_t>(expected, 1));
 }
 
 std::optional<ApplicationClass> OnlineClassifier::observe(
@@ -47,14 +72,33 @@ std::optional<ApplicationClass> OnlineClassifier::observe(
   const ApplicationClass label = pipeline_.classify(snapshot);
   ++classified_;
 
-  NodeState& node = nodes_[snapshot.node_ip];
-  node.window.push_back(label);
-  if (node.window.size() > options_.window) node.window.pop_front();
+  NodeState& node = nodes_.try_emplace(snapshot.node_ip).first->second;
+  if (node.window.empty() && !node.stable_class)
+    node.first_time = snapshot.time;
+  node.window.emplace_back(snapshot.time, label);
+  while (node.window.size() > options_.window) node.window.pop_front();
+  refresh_window(node, snapshot.time);
+
+  // Coverage-aware abstention: with too few valid samples in the window
+  // (mid-blackout or right after one), hold the last stable class rather
+  // than voting on fragments; the candidate streak resets so a change can
+  // only fire from contiguous healthy evidence.
+  if (options_.min_coverage > 0.0 && node.coverage < options_.min_coverage) {
+    ++abstained_;
+    om.abstained.inc();
+    node.candidate_streak = 0;
+    APPCLASS_LOG_DEBUG("online.abstain", {"node", snapshot.node_ip},
+                       {"time", snapshot.time},
+                       {"coverage", node.coverage},
+                       {"window", node.window.size()});
+    return label;
+  }
 
   // Debounced dominant-class tracking: the rolling majority must differ
   // from the stable class for `stability` consecutive samples to fire.
-  const std::vector<ApplicationClass> window(node.window.begin(),
-                                             node.window.end());
+  std::vector<ApplicationClass> window;
+  window.reserve(node.window.size());
+  for (const auto& [t, c] : node.window) window.push_back(c);
   const ApplicationClass dominant = majority_vote(window);
   if (!node.stable_class) {
     node.stable_class = dominant;
@@ -87,8 +131,9 @@ std::optional<ClassComposition> OnlineClassifier::composition(
     const std::string& node_ip) const {
   const auto it = nodes_.find(node_ip);
   if (it == nodes_.end() || it->second.window.empty()) return std::nullopt;
-  const std::vector<ApplicationClass> window(it->second.window.begin(),
-                                             it->second.window.end());
+  std::vector<ApplicationClass> window;
+  window.reserve(it->second.window.size());
+  for (const auto& [t, c] : it->second.window) window.push_back(c);
   return ClassComposition(window);
 }
 
@@ -97,6 +142,20 @@ std::optional<ApplicationClass> OnlineClassifier::current_class(
   const auto it = nodes_.find(node_ip);
   if (it == nodes_.end()) return std::nullopt;
   return it->second.stable_class;
+}
+
+std::optional<double> OnlineClassifier::coverage(
+    const std::string& node_ip) const {
+  const auto it = nodes_.find(node_ip);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second.coverage;
+}
+
+bool OnlineClassifier::degraded(const std::string& node_ip) const {
+  const auto it = nodes_.find(node_ip);
+  if (it == nodes_.end()) return false;
+  return options_.min_coverage > 0.0 &&
+         it->second.coverage < options_.min_coverage;
 }
 
 }  // namespace appclass::core

@@ -6,6 +6,13 @@
 // composition, and a debounced "behaviour changed" event stream — the
 // online counterpart of the paper's offline post-processing, and the
 // mechanism a migration-capable scheduler would subscribe to.
+//
+// The window is time-aware: entries older than the window's time horizon
+// are evicted, so after a monitoring blackout the classifier knows its
+// evidence is thin. While coverage (valid samples / expected samples) is
+// below `min_coverage` it abstains — the last stable class is held, no
+// behaviour change can fire, and the abstention is counted — instead of
+// voting on whatever fragments survived.
 #pragma once
 
 #include <deque>
@@ -13,6 +20,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "core/pipeline.hpp"
 
@@ -27,6 +35,11 @@ struct OnlineOptions {
   /// A behaviour change is reported only after the new dominant class has
   /// held for this many consecutive samples (debounce).
   std::size_t stability = 3;
+  /// Coverage-aware abstention threshold: when the rolling window holds
+  /// fewer than this fraction of the samples it should hold (given the
+  /// sampling grid and the window's time horizon), stable-class updates
+  /// are suspended and the node reports degraded. 0 disables abstention.
+  double min_coverage = 0.5;
 };
 
 /// A reported behaviour change on one node.
@@ -56,26 +69,44 @@ class OnlineClassifier {
   std::optional<ClassComposition> composition(
       const std::string& node_ip) const;
 
-  /// Debounced dominant class of a node (nullopt if unseen).
+  /// Debounced dominant class of a node (nullopt if unseen). Held at the
+  /// last stable value while the node is degraded.
   std::optional<ApplicationClass> current_class(
       const std::string& node_ip) const;
+
+  /// Fraction (0, 1] of expected window samples actually present — the
+  /// confidence discount after losses/blackouts. Nullopt if unseen.
+  std::optional<double> coverage(const std::string& node_ip) const;
+
+  /// True while a node's coverage is below min_coverage (abstaining).
+  bool degraded(const std::string& node_ip) const;
 
   /// Total snapshots classified across all nodes.
   std::size_t classified_count() const noexcept { return classified_; }
 
+  /// Grid-aligned observations absorbed while abstaining.
+  std::size_t abstained_count() const noexcept { return abstained_; }
+
  private:
   struct NodeState {
-    std::deque<ApplicationClass> window;
+    std::deque<std::pair<metrics::SimTime, ApplicationClass>> window;
     std::optional<ApplicationClass> stable_class;
     ApplicationClass candidate = ApplicationClass::kIdle;
     std::size_t candidate_streak = 0;
+    metrics::SimTime first_time = 0;
+    double coverage = 1.0;
   };
+
+  /// Drops window entries older than the window's time horizon and
+  /// recomputes coverage as of `now`.
+  void refresh_window(NodeState& node, metrics::SimTime now);
 
   const ClassificationPipeline& pipeline_;
   OnlineOptions options_;
   ChangeCallback callback_;
   std::map<std::string, NodeState> nodes_;
   std::size_t classified_ = 0;
+  std::size_t abstained_ = 0;
 };
 
 }  // namespace appclass::core

@@ -1,8 +1,10 @@
 #include "core/serialize.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "common/assert.hpp"
 
@@ -10,10 +12,32 @@ namespace appclass::core {
 
 namespace {
 
-constexpr std::string_view kMagic = "appclass-pipeline v1";
+// v2 appends a `checksum <16-hex FNV-1a-64>` footer over the whole body so
+// a truncated or bit-flipped model file fails loudly at load instead of
+// silently classifying with a damaged model. v1 files (no footer) are
+// still readable.
+constexpr std::string_view kMagic = "appclass-pipeline v2";
+constexpr std::string_view kMagicV1 = "appclass-pipeline v1";
+constexpr std::string_view kChecksumTag = "checksum ";
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("pipeline deserialization: " + what);
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string to_hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+  return out;
 }
 
 std::string expect_tag(std::istream& is, const std::string& tag) {
@@ -77,13 +101,38 @@ std::string save_pipeline(const ClassificationPipeline& pipeline) {
       os << ' ' << knn.training_points()(i, c);
     os << '\n';
   }
-  return os.str();
+  std::string body = os.str();
+  body.append(kChecksumTag);
+  body.append(to_hex64(fnv1a64(
+      std::string_view(body.data(), body.size() - kChecksumTag.size()))));
+  body.push_back('\n');
+  return body;
 }
 
 ClassificationPipeline load_pipeline(const std::string& text) {
+  std::string_view view = text;
+  const bool v1 = view.rfind(kMagicV1, 0) == 0;
+  if (!v1 && view.rfind(kMagic, 0) != 0) fail("bad magic/version header");
+
+  if (!v1) {
+    // Verify the checksum footer before trusting any field.
+    const std::size_t footer = view.rfind(kChecksumTag);
+    if (footer == std::string_view::npos)
+      fail("missing checksum footer (truncated file?)");
+    std::string_view recorded = view.substr(footer + kChecksumTag.size());
+    while (!recorded.empty() &&
+           (recorded.back() == '\n' || recorded.back() == '\r' ||
+            recorded.back() == ' '))
+      recorded.remove_suffix(1);
+    const std::string computed = to_hex64(fnv1a64(view.substr(0, footer)));
+    if (recorded != computed)
+      fail("checksum mismatch: file is corrupt (expected " + computed +
+           ", found '" + std::string(recorded) + "')");
+  }
+
   std::istringstream is(text);
   std::string line;
-  if (!std::getline(is, line) || line != kMagic)
+  if (!std::getline(is, line) || (line != kMagic && line != kMagicV1))
     fail("bad magic/version header");
 
   // --- preprocessor ---

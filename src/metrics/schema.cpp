@@ -87,6 +87,24 @@ const MetricInfo& info(MetricId id) noexcept {
   return kSchema[i];
 }
 
+PlausibleRange plausible_range(MetricId id) noexcept {
+  // Ranges are unit-driven: every metric in the schema is non-negative,
+  // percentages are bounded by 100, and unbounded quantities get a ceiling
+  // generous enough for any real machine yet far below corruption-grade
+  // garbage (1e9 * a legitimate reading, NaN, Inf).
+  const std::string_view unit = info(id).unit;
+  if (unit == "%") return {0.0, 100.0};
+  if (unit == "MHz") return {0.0, 1.0e6};
+  if (unit == "KB" || unit == "bytes/s") return {0.0, 1.0e13};
+  if (unit == "KB/s" || unit == "blocks/s" || unit == "packets/s" ||
+      unit == "count")
+    return {0.0, 1.0e9};
+  if (unit == "GB") return {0.0, 1.0e8};
+  if (unit == "s") return {0.0, 1.0e10};
+  if (unit == "bytes") return {0.0, 1.0e6};  // MTU
+  return {0.0, 1.0e5};                       // load averages (unitless)
+}
+
 std::optional<MetricId> find_metric(std::string_view name) noexcept {
   static const auto* lookup = [] {
     auto* m = new std::unordered_map<std::string_view, MetricId>();

@@ -85,6 +85,21 @@ struct MetricInfo {
 /// The full ordered schema (index i describes metric with MetricId i).
 std::span<const MetricInfo, kMetricCount> schema() noexcept;
 
+/// Inclusive [min, max] interval a metric's value can plausibly occupy on
+/// real hardware (e.g. percentages in [0, 100], rates non-negative with a
+/// generous physical ceiling). Values outside the interval — including
+/// NaN/Inf — indicate sensor corruption, not load, and should be repaired
+/// or rejected by telemetry consumers (see metrics/quality.hpp).
+struct PlausibleRange {
+  double min = 0.0;
+  double max = 0.0;
+
+  bool contains(double v) const noexcept { return v >= min && v <= max; }
+};
+
+/// The plausible range for one metric, derived from its unit.
+PlausibleRange plausible_range(MetricId id) noexcept;
+
 /// Info for a single metric.
 const MetricInfo& info(MetricId id) noexcept;
 

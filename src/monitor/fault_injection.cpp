@@ -1,6 +1,6 @@
 #include "monitor/fault_injection.hpp"
 
-#include <algorithm>
+#include <limits>
 
 #include "common/assert.hpp"
 #include "obs/log.hpp"
@@ -18,6 +18,14 @@ struct FaultMetrics {
       "appclass_fault_dropped_total", {{"reason", "drop"}});
   obs::Counter& blackouts = obs::MetricsRegistry::global().counter(
       "appclass_fault_blackouts_total");
+  obs::Counter& corrupted = obs::MetricsRegistry::global().counter(
+      "appclass_fault_corrupted_total");
+  obs::Counter& duplicated = obs::MetricsRegistry::global().counter(
+      "appclass_fault_duplicated_total");
+  obs::Counter& replayed = obs::MetricsRegistry::global().counter(
+      "appclass_fault_replayed_total");
+  obs::Counter& metric_dropouts = obs::MetricsRegistry::global().counter(
+      "appclass_fault_metric_dropouts_total");
 };
 
 FaultMetrics& fault_metrics() {
@@ -25,27 +33,74 @@ FaultMetrics& fault_metrics() {
   return metrics;
 }
 
+/// Full sweeps of the blackout map happen at most every this many relayed
+/// announcements; per-announcement work stays O(log nodes).
+constexpr std::size_t kPurgeInterval = 1024;
+
+void expect_probability(double p) {
+  APPCLASS_EXPECTS(p >= 0.0 && p <= 1.0);
+}
+
 }  // namespace
 
 FaultyChannel::FaultyChannel(MetricBus& source, MetricBus& target,
                              FaultOptions options, std::uint64_t seed)
     : source_(source), target_(target), options_(options), rng_(seed) {
-  APPCLASS_EXPECTS(options.drop_probability >= 0.0 &&
-                   options.drop_probability <= 1.0);
-  APPCLASS_EXPECTS(options.blackout_probability >= 0.0 &&
-                   options.blackout_probability <= 1.0);
+  expect_probability(options.drop_probability);
+  expect_probability(options.blackout_probability);
+  expect_probability(options.corruption_probability);
+  expect_probability(options.duplicate_probability);
+  expect_probability(options.replay_probability);
+  expect_probability(options.metric_dropout_probability);
+  APPCLASS_EXPECTS(options.corruption_metrics >= 1);
+  APPCLASS_EXPECTS(options.replay_depth >= 1);
   subscription_ = source_.subscribe(
       [this](const metrics::Snapshot& s) { relay(s); });
 }
 
 FaultyChannel::~FaultyChannel() { source_.unsubscribe(subscription_); }
 
+void FaultyChannel::purge_expired_blackouts(metrics::SimTime now) {
+  for (auto it = blackouts_.begin(); it != blackouts_.end();) {
+    if (it->second <= now)
+      it = blackouts_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void FaultyChannel::corrupt(metrics::Snapshot& snapshot) {
+  for (std::size_t n = 0; n < options_.corruption_metrics; ++n) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng_.uniform_index(metrics::kMetricCount));
+    switch (rng_.uniform_index(4)) {
+      case 0:
+        snapshot.values[i] = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 1:
+        snapshot.values[i] = std::numeric_limits<double>::infinity();
+        break;
+      case 2:
+        snapshot.values[i] = -std::numeric_limits<double>::infinity();
+        break;
+      default:
+        // Garbage spike: a bit pattern that decodes to an absurd level.
+        snapshot.values[i] =
+            (snapshot.values[i] + 1.0) * rng_.uniform(1.0e15, 1.0e18);
+        break;
+    }
+  }
+}
+
 void FaultyChannel::relay(const metrics::Snapshot& snapshot) {
   FaultMetrics& fm = fault_metrics();
+  if (++relayed_since_purge_ >= kPurgeInterval) {
+    relayed_since_purge_ = 0;
+    purge_expired_blackouts(snapshot.time);
+  }
+
   // Node blackout?
-  const auto it = std::find_if(
-      blackouts_.begin(), blackouts_.end(),
-      [&](const auto& b) { return b.first == snapshot.node_ip; });
+  const auto it = blackouts_.find(snapshot.node_ip);
   if (it != blackouts_.end()) {
     if (snapshot.time < it->second) {
       ++dropped_;
@@ -56,8 +111,7 @@ void FaultyChannel::relay(const metrics::Snapshot& snapshot) {
   }
   if (options_.blackout_probability > 0.0 &&
       rng_.bernoulli(options_.blackout_probability)) {
-    blackouts_.emplace_back(snapshot.node_ip,
-                            snapshot.time + options_.blackout_s);
+    blackouts_[snapshot.node_ip] = snapshot.time + options_.blackout_s;
     ++dropped_;
     fm.blackouts.inc();
     fm.dropped_blackout.inc();
@@ -72,9 +126,54 @@ void FaultyChannel::relay(const metrics::Snapshot& snapshot) {
     fm.dropped_random.inc();
     return;
   }
+
+  // The announcement survives; decide payload-level faults.
+  metrics::Snapshot delivered = snapshot;
+  if (options_.corruption_probability > 0.0 &&
+      rng_.bernoulli(options_.corruption_probability)) {
+    corrupt(delivered);
+    ++corrupted_;
+    fm.corrupted.inc();
+  }
+  if (options_.metric_dropout_probability > 0.0) {
+    for (double& v : delivered.values) {
+      if (rng_.bernoulli(options_.metric_dropout_probability)) {
+        v = std::numeric_limits<double>::quiet_NaN();
+        ++metric_dropouts_;
+        fm.metric_dropouts.inc();
+      }
+    }
+  }
+
   ++delivered_;
   fm.delivered.inc();
-  target_.announce(snapshot);
+  target_.announce(delivered);
+
+  // Duplicate delivery: the same payload arrives twice.
+  if (options_.duplicate_probability > 0.0 &&
+      rng_.bernoulli(options_.duplicate_probability)) {
+    ++duplicated_;
+    ++delivered_;
+    fm.duplicated.inc();
+    fm.delivered.inc();
+    target_.announce(delivered);
+  }
+
+  // Stale replay: an old delivery for this node resurfaces out of order.
+  if (options_.replay_probability > 0.0) {
+    auto& history = history_[snapshot.node_ip];
+    if (!history.empty() && rng_.bernoulli(options_.replay_probability)) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng_.uniform_index(history.size()));
+      ++replayed_;
+      ++delivered_;
+      fm.replayed.inc();
+      fm.delivered.inc();
+      target_.announce(history[pick]);
+    }
+    history.push_back(delivered);
+    if (history.size() > options_.replay_depth) history.pop_front();
+  }
 }
 
 }  // namespace appclass::monitor

@@ -1,14 +1,18 @@
 // Monitoring-path fault injection.
 //
 // Ganglia announcements travel over UDP multicast: messages get dropped,
-// whole nodes go quiet, and listeners must cope. `FaultyChannel` relays a
-// source bus onto a target bus while injecting those failure modes
-// deterministically (seeded), so robustness of the downstream consumers —
-// the profiler, the online classifier — can be tested and quantified.
+// whole nodes go quiet, payloads are corrupted in flight, packets arrive
+// twice or out of order, and individual sensors flake. `FaultyChannel`
+// relays a source bus onto a target bus while injecting those failure
+// modes deterministically (seeded), so robustness of the downstream
+// consumers — the sanitizer, the profiler, the online classifier — can be
+// tested and quantified (see core/robustness.hpp for the sweep harness).
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <map>
 #include <string>
-#include <vector>
 
 #include "linalg/random.hpp"
 #include "monitor/bus.hpp"
@@ -22,6 +26,23 @@ struct FaultOptions {
   /// (gmond crash / partition) for `blackout_s` seconds.
   double blackout_probability = 0.0;
   metrics::SimTime blackout_s = 30;
+  /// Probability a delivered announcement has `corruption_metrics` of its
+  /// values corrupted (NaN, ±Inf, or garbage spikes on random metrics).
+  double corruption_probability = 0.0;
+  /// Metrics corrupted per corrupted announcement.
+  std::size_t corruption_metrics = 1;
+  /// Probability a delivered announcement is delivered a second time
+  /// (duplicate UDP delivery).
+  double duplicate_probability = 0.0;
+  /// Probability that, after a delivery, a stale announcement previously
+  /// delivered for the same node is replayed out of order (daemon restart
+  /// re-announcing old state).
+  double replay_probability = 0.0;
+  /// How many past deliveries per node are eligible for replay.
+  std::size_t replay_depth = 8;
+  /// Probability each individual metric of a delivered announcement is
+  /// blanked to NaN (per-sensor dropout).
+  double metric_dropout_probability = 0.0;
 };
 
 class FaultyChannel {
@@ -34,11 +55,19 @@ class FaultyChannel {
   FaultyChannel(const FaultyChannel&) = delete;
   FaultyChannel& operator=(const FaultyChannel&) = delete;
 
+  /// Announcements relayed onto the target (duplicates and replays count
+  /// once each — they are extra announcements).
   std::size_t delivered() const noexcept { return delivered_; }
   std::size_t dropped() const noexcept { return dropped_; }
+  std::size_t corrupted() const noexcept { return corrupted_; }
+  std::size_t duplicated() const noexcept { return duplicated_; }
+  std::size_t replayed() const noexcept { return replayed_; }
+  std::size_t metric_dropouts() const noexcept { return metric_dropouts_; }
 
  private:
   void relay(const metrics::Snapshot& snapshot);
+  void corrupt(metrics::Snapshot& snapshot);
+  void purge_expired_blackouts(metrics::SimTime now);
 
   MetricBus& source_;
   MetricBus& target_;
@@ -47,8 +76,17 @@ class FaultyChannel {
   SubscriptionId subscription_;
   std::size_t delivered_ = 0;
   std::size_t dropped_ = 0;
-  /// Per-node blackout end time.
-  std::vector<std::pair<std::string, metrics::SimTime>> blackouts_;
+  std::size_t corrupted_ = 0;
+  std::size_t duplicated_ = 0;
+  std::size_t replayed_ = 0;
+  std::size_t metric_dropouts_ = 0;
+  std::size_t relayed_since_purge_ = 0;
+  /// Blackout end time per node; expired entries are purged on the node's
+  /// next announcement and in periodic sweeps, so long chaos runs stay
+  /// O(log nodes) per announcement.
+  std::map<std::string, metrics::SimTime> blackouts_;
+  /// Recently delivered announcements per node (stale-replay source).
+  std::map<std::string, std::deque<metrics::Snapshot>> history_;
 };
 
 }  // namespace appclass::monitor

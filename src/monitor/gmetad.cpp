@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace appclass::monitor {
@@ -13,6 +14,10 @@ struct GmetadMetrics {
       "appclass_gmetad_announcements_total");
   obs::Gauge& nodes =
       obs::MetricsRegistry::global().gauge("appclass_gmetad_nodes");
+  obs::Counter& deaths = obs::MetricsRegistry::global().counter(
+      "appclass_gmetad_node_deaths_total");
+  obs::Counter& recoveries = obs::MetricsRegistry::global().counter(
+      "appclass_gmetad_node_recoveries_total");
 };
 
 GmetadMetrics& gmetad_metrics() {
@@ -31,40 +36,78 @@ Gmetad::Gmetad(MetricBus& bus, metrics::SimTime liveness_timeout_s)
 
 Gmetad::~Gmetad() { bus_.unsubscribe(subscription_); }
 
+void Gmetad::on_node_event(NodeEventCallback callback) {
+  node_event_callback_ = std::move(callback);
+}
+
 void Gmetad::on_announce(const metrics::Snapshot& snapshot) {
-  newest_time_ = std::max(newest_time_, snapshot.time);
-  latest_[snapshot.node_ip] = snapshot;
   GmetadMetrics& gm = gmetad_metrics();
+  newest_time_ = std::max(newest_time_, snapshot.time);
+
+  auto [it, inserted] = nodes_.try_emplace(snapshot.node_ip);
+  NodeRecord& record = it->second;
+  const bool was_dead = !inserted && record.dead;
+  if (inserted || snapshot.time >= record.snapshot.time)
+    record.snapshot = snapshot;
+  if (was_dead && alive(record.snapshot)) {
+    record.dead = false;
+    gm.recoveries.inc();
+    APPCLASS_LOG_INFO("gmetad.node_recovery", {"node", snapshot.node_ip},
+                      {"time", snapshot.time});
+    if (node_event_callback_)
+      node_event_callback_({snapshot.node_ip, snapshot.time,
+                            NodeEvent::Kind::kRecovery});
+  }
+
+  // Detect deaths exposed by this announcement advancing cluster time.
+  for (auto& [ip, other] : nodes_) {
+    if (other.dead || alive(other.snapshot)) continue;
+    other.dead = true;
+    gm.deaths.inc();
+    APPCLASS_LOG_WARN("gmetad.node_death", {"node", ip},
+                      {"last_seen", other.snapshot.time},
+                      {"time", newest_time_});
+    if (node_event_callback_)
+      node_event_callback_({ip, newest_time_, NodeEvent::Kind::kDeath});
+  }
+
   gm.announcements.inc();
-  gm.nodes.set(static_cast<double>(latest_.size()));
+  gm.nodes.set(static_cast<double>(nodes_.size()));
 }
 
 bool Gmetad::alive(const metrics::Snapshot& snapshot) const {
   return newest_time_ - snapshot.time <= liveness_timeout_s_;
 }
 
-std::size_t Gmetad::node_count() const { return latest_.size(); }
+std::size_t Gmetad::node_count() const { return nodes_.size(); }
 
 std::vector<std::string> Gmetad::live_nodes() const {
   std::vector<std::string> out;
-  for (const auto& [ip, snapshot] : latest_)
-    if (alive(snapshot)) out.push_back(ip);
+  for (const auto& [ip, record] : nodes_)
+    if (alive(record.snapshot)) out.push_back(ip);
+  return out;
+}
+
+std::vector<std::string> Gmetad::dead_nodes() const {
+  std::vector<std::string> out;
+  for (const auto& [ip, record] : nodes_)
+    if (!alive(record.snapshot)) out.push_back(ip);
   return out;
 }
 
 std::optional<metrics::Snapshot> Gmetad::latest(
     const std::string& node_ip) const {
-  const auto it = latest_.find(node_ip);
-  if (it == latest_.end()) return std::nullopt;
-  return it->second;
+  const auto it = nodes_.find(node_ip);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second.snapshot;
 }
 
 std::optional<MetricSummary> Gmetad::summary(metrics::MetricId id) const {
   MetricSummary out;
   bool first = true;
-  for (const auto& [ip, snapshot] : latest_) {
-    if (!alive(snapshot)) continue;
-    const double v = snapshot.get(id);
+  for (const auto& [ip, record] : nodes_) {
+    if (!alive(record.snapshot)) continue;
+    const double v = record.snapshot.get(id);
     out.sum += v;
     if (first) {
       out.min = out.max = v;
@@ -83,9 +126,9 @@ std::optional<MetricSummary> Gmetad::summary(metrics::MetricId id) const {
 std::optional<std::string> Gmetad::argmax(metrics::MetricId id) const {
   std::optional<std::string> best;
   double best_value = 0.0;
-  for (const auto& [ip, snapshot] : latest_) {
-    if (!alive(snapshot)) continue;
-    const double v = snapshot.get(id);
+  for (const auto& [ip, record] : nodes_) {
+    if (!alive(record.snapshot)) continue;
+    const double v = record.snapshot.get(id);
     if (!best || v > best_value) {
       best = ip;
       best_value = v;
@@ -97,9 +140,9 @@ std::optional<std::string> Gmetad::argmax(metrics::MetricId id) const {
 std::optional<std::string> Gmetad::argmin(metrics::MetricId id) const {
   std::optional<std::string> best;
   double best_value = 0.0;
-  for (const auto& [ip, snapshot] : latest_) {
-    if (!alive(snapshot)) continue;
-    const double v = snapshot.get(id);
+  for (const auto& [ip, record] : nodes_) {
+    if (!alive(record.snapshot)) continue;
+    const double v = record.snapshot.get(id);
     if (!best || v < best_value) {
       best = ip;
       best_value = v;

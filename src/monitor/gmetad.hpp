@@ -3,9 +3,13 @@
 // gmond daemons announce per-node metrics; gmetad listens and maintains
 // the cluster view: the freshest snapshot per node, node liveness, and
 // cluster-wide summaries (sums and means of every metric). Schedulers use
-// the summaries for host/VM selection without touching raw streams.
+// the summaries for host/VM selection without touching raw streams, and
+// can subscribe to node death/recovery events to react to a degraded
+// monitoring plane (a node gone quiet is indistinguishable from a node
+// gone down — either way, stop scheduling onto it).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -25,8 +29,21 @@ struct MetricSummary {
   std::size_t nodes = 0;
 };
 
+/// A liveness transition observed by gmetad.
+struct NodeEvent {
+  enum class Kind { kDeath, kRecovery };
+
+  std::string node_ip;
+  /// Cluster time at which the transition was detected (for deaths, the
+  /// newest announcement time that exposed the silence).
+  metrics::SimTime time = 0;
+  Kind kind = Kind::kDeath;
+};
+
 class Gmetad {
  public:
+  using NodeEventCallback = std::function<void(const NodeEvent&)>;
+
   /// Nodes whose last announcement is older than `liveness_timeout_s` are
   /// considered dead and excluded from summaries.
   explicit Gmetad(MetricBus& bus, metrics::SimTime liveness_timeout_s = 60);
@@ -41,6 +58,15 @@ class Gmetad {
   /// Node IPs currently considered alive (as of the newest announcement).
   std::vector<std::string> live_nodes() const;
 
+  /// Node IPs currently considered dead (seen once, then silent beyond
+  /// the liveness timeout).
+  std::vector<std::string> dead_nodes() const;
+
+  /// Called on every detected death and recovery. Death is detected when
+  /// another node's announcement advances cluster time past the silent
+  /// node's timeout; recovery when the dead node announces again.
+  void on_node_event(NodeEventCallback callback);
+
   /// Freshest snapshot of a node, or nullopt if unseen.
   std::optional<metrics::Snapshot> latest(const std::string& node_ip) const;
 
@@ -54,6 +80,11 @@ class Gmetad {
   std::optional<std::string> argmin(metrics::MetricId id) const;
 
  private:
+  struct NodeRecord {
+    metrics::Snapshot snapshot;
+    bool dead = false;
+  };
+
   void on_announce(const metrics::Snapshot& snapshot);
   bool alive(const metrics::Snapshot& snapshot) const;
 
@@ -61,7 +92,8 @@ class Gmetad {
   metrics::SimTime liveness_timeout_s_;
   SubscriptionId subscription_;
   metrics::SimTime newest_time_ = 0;
-  std::map<std::string, metrics::Snapshot> latest_;
+  std::map<std::string, NodeRecord> nodes_;
+  NodeEventCallback node_event_callback_;
 };
 
 }  // namespace appclass::monitor

@@ -1,0 +1,120 @@
+// Acceptance tests for the chaos sweep: the trained classifier's
+// majority-vote class must survive realistic monitoring degradation (10%
+// announcement loss + 1% payload corruption) on every canonical workload
+// when the snapshot sanitizer is enabled, with per-snapshot accuracy
+// degraded by no more than a bounded margin.
+#include "core/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/trainer.hpp"
+
+namespace appclass::core {
+namespace {
+
+const ClassificationPipeline& pipeline() {
+  static const ClassificationPipeline p = make_trained_pipeline();
+  return p;
+}
+
+const std::vector<RecordedRun>& runs() {
+  static const std::vector<RecordedRun> r = record_canonical_runs();
+  return r;
+}
+
+TEST(ChaosRobustness, FaultKindNamesRoundTrip) {
+  for (const FaultKind kind : all_fault_kinds()) {
+    const auto back = fault_kind_from_string(to_string(kind));
+    ASSERT_TRUE(back.has_value()) << to_string(kind);
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(fault_kind_from_string("gremlins").has_value());
+}
+
+TEST(ChaosRobustness, RecordsAllFiveCanonicalWorkloads) {
+  ASSERT_EQ(runs().size(), 5u);
+  for (const auto& run : runs()) {
+    EXPECT_FALSE(run.workload.empty());
+    EXPECT_FALSE(run.node_ip.empty());
+    EXPECT_GT(run.announcements.size(), 50u) << run.workload;
+    for (double m : run.metric_means)
+      EXPECT_TRUE(std::isfinite(m)) << run.workload;
+  }
+}
+
+TEST(ChaosRobustness, ZeroFaultRateIsLossless) {
+  ChaosOptions options;
+  for (const auto& run : runs()) {
+    const ChaosCell cell =
+        run_chaos_cell(pipeline(), run, FaultKind::kDrop, 0.0, options);
+    EXPECT_EQ(cell.survived_samples, cell.clean_samples) << run.workload;
+    EXPECT_DOUBLE_EQ(cell.accuracy, 1.0) << run.workload;
+    EXPECT_TRUE(cell.majority_ok) << run.workload;
+    EXPECT_EQ(cell.rejected, 0u) << run.workload;
+  }
+}
+
+TEST(ChaosRobustness, CellsAreDeterministic) {
+  ChaosOptions options;
+  const auto& run = runs().front();
+  const ChaosCell a = run_chaos_cell(pipeline(), run,
+                                     FaultKind::kDropAndCorrupt, 0.3, options);
+  const ChaosCell b = run_chaos_cell(pipeline(), run,
+                                     FaultKind::kDropAndCorrupt, 0.3, options);
+  EXPECT_EQ(a.survived_samples, b.survived_samples);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.imputed_values, b.imputed_values);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.majority, b.majority);
+}
+
+// The headline acceptance criterion: at 10% drop + 1% corruption with the
+// sanitizer enabled, every canonical workload keeps its majority-vote
+// class, and per-snapshot accuracy stays within a bounded margin.
+TEST(ChaosRobustness, MajoritySurvivesTenPercentDropOnePercentCorruption) {
+  ChaosOptions options;
+  options.sanitize = true;
+  for (const auto& run : runs()) {
+    const ChaosCell cell = run_chaos_cell(
+        pipeline(), run, FaultKind::kDropAndCorrupt, 0.1, options);
+    EXPECT_TRUE(cell.majority_ok)
+        << run.workload << ": majority flipped to "
+        << to_string(cell.majority);
+    EXPECT_GE(cell.accuracy, 0.8) << run.workload;
+    EXPECT_GT(cell.survived_samples, cell.clean_samples / 2) << run.workload;
+  }
+}
+
+TEST(ChaosRobustness, SanitizerRepairsHeavyCorruption) {
+  // At 30% corruption the sanitizer must be visibly working (imputations
+  // recorded) and must not do worse than feeding raw garbage downstream.
+  ChaosOptions options;
+  const auto& run = runs().front();
+  options.sanitize = true;
+  const ChaosCell clean = run_chaos_cell(pipeline(), run,
+                                         FaultKind::kCorrupt, 0.3, options);
+  options.sanitize = false;
+  const ChaosCell raw = run_chaos_cell(pipeline(), run,
+                                       FaultKind::kCorrupt, 0.3, options);
+  EXPECT_GT(clean.imputed_values, 0u);
+  EXPECT_GE(clean.accuracy, raw.accuracy);
+}
+
+TEST(ChaosRobustness, SweepCoversEveryCellAndRendersCsv) {
+  ChaosOptions options;
+  options.rates = {0.0, 0.1};
+  options.kinds = {FaultKind::kDrop, FaultKind::kDuplicate};
+  const auto cells = run_chaos_sweep(pipeline(), runs(), options);
+  EXPECT_EQ(cells.size(), runs().size() * 2 * 2);
+  const std::string csv = chaos_csv(cells);
+  EXPECT_EQ(csv.rfind("workload,expected,fault_kind,rate,sanitized,", 0), 0u);
+  std::size_t lines = 0;
+  for (const char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, cells.size() + 1);  // header + one row per cell
+}
+
+}  // namespace
+}  // namespace appclass::core

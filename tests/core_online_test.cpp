@@ -85,6 +85,74 @@ TEST_F(OnlineTest, TracksNodesIndependently) {
   EXPECT_EQ(oc.current_class("10.0.0.2"), ApplicationClass::kNetwork);
 }
 
+TEST_F(OnlineTest, ContiguousStreamHasFullCoverage) {
+  OnlineClassifier oc(pipeline_, {.sampling_interval_s = 1, .window = 10});
+  feed(oc, ApplicationClass::kCpu, 15, 0);
+  ASSERT_TRUE(oc.coverage("10.0.0.1").has_value());
+  EXPECT_DOUBLE_EQ(*oc.coverage("10.0.0.1"), 1.0);
+  EXPECT_FALSE(oc.degraded("10.0.0.1"));
+  EXPECT_EQ(oc.abstained_count(), 0u);
+  EXPECT_FALSE(oc.coverage("10.9.9.9").has_value());
+}
+
+TEST_F(OnlineTest, AbstainsAfterMonitoringGap) {
+  OnlineClassifier oc(pipeline_, {.sampling_interval_s = 1,
+                                  .window = 10,
+                                  .stability = 3,
+                                  .min_coverage = 0.5});
+  feed(oc, ApplicationClass::kCpu, 20, 0);
+  EXPECT_EQ(oc.current_class("10.0.0.1"), ApplicationClass::kCpu);
+  EXPECT_FALSE(oc.degraded("10.0.0.1"));
+
+  // A long blackout, then one lone post-gap sample: the window is almost
+  // empty, so the classifier abstains and holds the last stable class
+  // instead of trusting the fragment.
+  feed(oc, ApplicationClass::kNetwork, 1, 200);
+  EXPECT_TRUE(oc.degraded("10.0.0.1"));
+  EXPECT_LT(*oc.coverage("10.0.0.1"), 0.5);
+  EXPECT_EQ(oc.current_class("10.0.0.1"), ApplicationClass::kCpu);
+  EXPECT_EQ(oc.abstained_count(), 1u);
+}
+
+TEST_F(OnlineTest, RecoversFromGapAndThenReportsChange) {
+  OnlineClassifier oc(pipeline_, {.sampling_interval_s = 1,
+                                  .window = 10,
+                                  .stability = 3,
+                                  .min_coverage = 0.5});
+  std::vector<BehaviourChange> changes;
+  oc.on_change([&](const BehaviourChange& c) { changes.push_back(c); });
+
+  metrics::SimTime t = feed(oc, ApplicationClass::kCpu, 20, 0);
+  (void)t;
+  // Resume after a gap with a different behaviour: the first few samples
+  // are absorbed as abstentions, then the window refills, coverage
+  // crosses the threshold, and the change fires from healthy evidence.
+  feed(oc, ApplicationClass::kNetwork, 10, 200);
+  EXPECT_FALSE(oc.degraded("10.0.0.1"));
+  EXPECT_GT(oc.abstained_count(), 0u);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].from, ApplicationClass::kCpu);
+  EXPECT_EQ(changes[0].to, ApplicationClass::kNetwork);
+  EXPECT_EQ(oc.current_class("10.0.0.1"), ApplicationClass::kNetwork);
+}
+
+TEST_F(OnlineTest, ZeroMinCoverageDisablesAbstention) {
+  OnlineClassifier oc(pipeline_, {.sampling_interval_s = 1,
+                                  .window = 4,
+                                  .stability = 1,
+                                  .min_coverage = 0.0});
+  int changes = 0;
+  oc.on_change([&](const BehaviourChange&) { ++changes; });
+  metrics::SimTime t = feed(oc, ApplicationClass::kCpu, 8, 0);
+  (void)t;
+  feed(oc, ApplicationClass::kIo, 1, 100);  // lone post-gap fragment
+  EXPECT_EQ(oc.abstained_count(), 0u);
+  EXPECT_FALSE(oc.degraded("10.0.0.1"));
+  // Without abstention the fragment wins the (evicted-to-one) window.
+  EXPECT_EQ(changes, 1);
+  EXPECT_EQ(oc.current_class("10.0.0.1"), ApplicationClass::kIo);
+}
+
 TEST_F(OnlineTest, ObserveReturnsAssignedLabel) {
   OnlineClassifier oc(pipeline_, {.sampling_interval_s = 2});
   linalg::Rng rng(3);

@@ -18,10 +18,18 @@ ClassificationPipeline trained() {
 
 TEST(Serialize, HeaderAndStructure) {
   const std::string text = save_pipeline(trained());
-  EXPECT_EQ(text.rfind("appclass-pipeline v1", 0), 0u);
+  EXPECT_EQ(text.rfind("appclass-pipeline v2", 0), 0u);
   EXPECT_NE(text.find("metrics 8 cpu_system cpu_user"), std::string::npos);
   EXPECT_NE(text.find("pca 8 2"), std::string::npos);
   EXPECT_NE(text.find("knn 125 3 euclidean"), std::string::npos);
+  // v2 ends with a 16-hex-digit FNV-1a checksum footer.
+  const auto footer = text.rfind("checksum ");
+  ASSERT_NE(footer, std::string::npos);
+  const std::string digest =
+      text.substr(footer + 9, text.size() - footer - 10);
+  EXPECT_EQ(digest.size(), 16u);
+  EXPECT_EQ(digest.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
 }
 
 TEST(Serialize, RoundTripPreservesEveryPrediction) {
@@ -68,6 +76,55 @@ TEST(Serialize, RejectsTruncatedInput) {
   std::string text = save_pipeline(trained());
   text.resize(text.size() / 2);
   EXPECT_THROW(load_pipeline(text), std::runtime_error);
+}
+
+TEST(Serialize, TruncationReportsMissingFooter) {
+  std::string text = save_pipeline(trained());
+  text.resize(text.size() * 2 / 3);
+  try {
+    load_pipeline(text);
+    FAIL() << "truncated file must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, BitFlipReportsChecksumMismatch) {
+  std::string text = save_pipeline(trained());
+  // Flip one bit in a numeric payload character mid-file.
+  const auto pos = text.find("pca-mean") + 10;
+  text[pos] = static_cast<char>(text[pos] ^ 0x01);
+  try {
+    load_pipeline(text);
+    FAIL() << "corrupt file must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, TamperedFooterReportsChecksumMismatch) {
+  std::string text = save_pipeline(trained());
+  const auto footer = text.rfind("checksum ");
+  ASSERT_NE(footer, std::string::npos);
+  char& digit = text[footer + 9];
+  digit = digit == '0' ? '1' : '0';
+  EXPECT_THROW(load_pipeline(text), std::runtime_error);
+}
+
+TEST(Serialize, LoadsLegacyV1FilesWithoutFooter) {
+  // Pre-checksum files begin with the v1 magic and have no footer; they
+  // must remain loadable for backward compatibility.
+  std::string text = save_pipeline(trained());
+  const auto footer = text.rfind("checksum ");
+  ASSERT_NE(footer, std::string::npos);
+  text.erase(footer);
+  text.replace(text.find("appclass-pipeline v2"), 20,
+               "appclass-pipeline v1");
+  const ClassificationPipeline restored = load_pipeline(text);
+  EXPECT_TRUE(restored.trained());
 }
 
 TEST(Serialize, RejectsUnknownMetric) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "core/pipeline.hpp"
 #include "core_test_util.hpp"
 #include "monitor/profiler.hpp"
@@ -95,6 +98,133 @@ TEST(FaultyChannel, DetachesOnDestruction) {
   source.announce(tick_snapshot(1));
   EXPECT_EQ(received, 1);
   EXPECT_EQ(source.listener_count(), 0u);
+}
+
+TEST(FaultyChannel, SameSeedYieldsIdenticalSequence) {
+  // The fault channel is a deterministic function of (options, seed):
+  // two channels fed the same stream must deliver byte-identical output.
+  FaultOptions options;
+  options.drop_probability = 0.2;
+  options.blackout_probability = 0.01;
+  options.blackout_s = 5;
+  options.corruption_probability = 0.1;
+  options.duplicate_probability = 0.1;
+  options.replay_probability = 0.1;
+  options.metric_dropout_probability = 0.02;
+
+  auto run = [&](std::uint64_t seed) {
+    MetricBus source, target;
+    std::vector<metrics::Snapshot> out;
+    target.subscribe(
+        [&](const metrics::Snapshot& s) { out.push_back(s); });
+    FaultyChannel channel(source, target, options, seed);
+    linalg::Rng data_rng(42);
+    for (int t = 0; t < 2000; ++t) {
+      auto s = tick_snapshot(t, t % 2 == 0 ? "a" : "b");
+      s.set(metrics::MetricId::kCpuUser, data_rng.uniform(0.0, 100.0));
+      source.announce(s);
+    }
+    return out;
+  };
+
+  const auto first = run(123);
+  const auto second = run(123);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].time, second[i].time);
+    EXPECT_EQ(first[i].node_ip, second[i].node_ip);
+    for (std::size_t m = 0; m < metrics::kMetricCount; ++m) {
+      const double a = first[i].values[m], b = second[i].values[m];
+      if (std::isnan(a))
+        EXPECT_TRUE(std::isnan(b));
+      else
+        EXPECT_DOUBLE_EQ(a, b);
+    }
+  }
+  // And a different seed produces a different sequence.
+  const auto other = run(456);
+  bool differs = other.size() != first.size();
+  for (std::size_t i = 0; !differs && i < first.size(); ++i)
+    differs = first[i].time != other[i].time;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultyChannel, CorruptionInjectsNonFiniteOrSpikes) {
+  MetricBus source, target;
+  std::vector<metrics::Snapshot> out;
+  target.subscribe([&](const metrics::Snapshot& s) { out.push_back(s); });
+  FaultOptions options;
+  options.corruption_probability = 1.0;
+  options.corruption_metrics = 2;
+  FaultyChannel channel(source, target, options, 9);
+  for (int t = 0; t < 100; ++t) {
+    auto s = tick_snapshot(t);
+    s.set(metrics::MetricId::kCpuUser, 50.0);
+    source.announce(s);
+  }
+  EXPECT_EQ(channel.corrupted(), 100u);
+  ASSERT_EQ(out.size(), 100u);
+  std::size_t damaged = 0;
+  for (const auto& s : out)
+    for (double v : s.values)
+      if (!std::isfinite(v) || std::abs(v) > 1e12) {
+        ++damaged;
+        break;
+      }
+  EXPECT_EQ(damaged, 100u);
+}
+
+TEST(FaultyChannel, DuplicateDeliversTwice) {
+  MetricBus source, target;
+  std::vector<metrics::SimTime> seen;
+  target.subscribe(
+      [&](const metrics::Snapshot& s) { seen.push_back(s.time); });
+  FaultyChannel channel(source, target,
+                        FaultOptions{.duplicate_probability = 1.0}, 5);
+  for (int t = 0; t < 10; ++t) source.announce(tick_snapshot(t));
+  EXPECT_EQ(channel.duplicated(), 10u);
+  ASSERT_EQ(seen.size(), 20u);
+  for (std::size_t t = 0; t < 10; ++t) {
+    EXPECT_EQ(seen[2 * t], static_cast<metrics::SimTime>(t));
+    EXPECT_EQ(seen[2 * t + 1],
+              static_cast<metrics::SimTime>(t));  // back-to-back duplicate
+  }
+}
+
+TEST(FaultyChannel, ReplayReannouncesStaleSnapshots) {
+  MetricBus source, target;
+  std::vector<metrics::SimTime> seen;
+  target.subscribe(
+      [&](const metrics::Snapshot& s) { seen.push_back(s.time); });
+  FaultOptions options;
+  options.replay_probability = 1.0;
+  options.replay_depth = 4;
+  FaultyChannel channel(source, target, options, 5);
+  for (int t = 0; t < 50; ++t) source.announce(tick_snapshot(t));
+  // The first announcement has no history to replay from.
+  EXPECT_EQ(channel.replayed(), 49u);
+  EXPECT_EQ(seen.size(), 99u);
+  // seen = [f0, f1, r1, f2, r2, ...]: every replayed announcement is
+  // strictly older than its trigger and within the replay depth.
+  for (std::size_t i = 2; i < seen.size(); i += 2) {
+    const metrics::SimTime fresh = seen[i - 1], stale = seen[i];
+    EXPECT_LT(stale, fresh);
+    EXPECT_GE(stale, fresh - static_cast<metrics::SimTime>(options.replay_depth));
+  }
+}
+
+TEST(FaultyChannel, MetricDropoutBlanksIndividualSensors) {
+  MetricBus source, target;
+  std::vector<metrics::Snapshot> out;
+  target.subscribe([&](const metrics::Snapshot& s) { out.push_back(s); });
+  FaultyChannel channel(
+      source, target, FaultOptions{.metric_dropout_probability = 1.0}, 5);
+  auto s = tick_snapshot(0);
+  s.set(metrics::MetricId::kCpuUser, 50.0);
+  source.announce(s);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(channel.metric_dropouts(), metrics::kMetricCount);
+  for (double v : out[0].values) EXPECT_TRUE(std::isnan(v));
 }
 
 TEST(FaultyChannel, ClassifierCompositionRobustToLoss) {

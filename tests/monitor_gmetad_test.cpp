@@ -70,6 +70,47 @@ TEST(Gmetad, StaleNodeRevives) {
   EXPECT_EQ(gmetad.live_nodes().size(), 2u);
 }
 
+TEST(Gmetad, EmitsDeathEventWhenNodeGoesSilent) {
+  MetricBus bus;
+  Gmetad gmetad(bus, /*liveness_timeout_s=*/30);
+  std::vector<NodeEvent> events;
+  gmetad.on_node_event([&](const NodeEvent& e) { events.push_back(e); });
+
+  bus.announce(node_snapshot("quiet", 0, 50.0));
+  bus.announce(node_snapshot("chatty", 10, 80.0));
+  EXPECT_TRUE(events.empty());  // both inside the liveness window
+
+  // Cluster time advances past quiet's timeout via chatty's announcement.
+  bus.announce(node_snapshot("chatty", 100, 80.0));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].node_ip, "quiet");
+  EXPECT_EQ(events[0].kind, NodeEvent::Kind::kDeath);
+  EXPECT_EQ(events[0].time, 100);
+  const auto dead = gmetad.dead_nodes();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], "quiet");
+  // Death is edge-triggered: further announcements do not repeat it.
+  bus.announce(node_snapshot("chatty", 110, 80.0));
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(Gmetad, EmitsRecoveryEventWhenNodeReturns) {
+  MetricBus bus;
+  Gmetad gmetad(bus, 30);
+  std::vector<NodeEvent> events;
+  gmetad.on_node_event([&](const NodeEvent& e) { events.push_back(e); });
+
+  bus.announce(node_snapshot("a", 0, 50.0));
+  bus.announce(node_snapshot("b", 100, 80.0));  // a declared dead
+  bus.announce(node_snapshot("a", 120, 55.0));  // a recovers
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].node_ip, "a");
+  EXPECT_EQ(events[1].kind, NodeEvent::Kind::kRecovery);
+  EXPECT_EQ(events[1].time, 120);
+  EXPECT_TRUE(gmetad.dead_nodes().empty());
+  EXPECT_EQ(gmetad.live_nodes().size(), 2u);
+}
+
 TEST(Gmetad, ArgmaxArgmin) {
   MetricBus bus;
   Gmetad gmetad(bus);

@@ -22,6 +22,11 @@
 //       Run an application and record its per-second demand trace.
 //   appclass_cli trace-replay <trace.csv> <pool.csv>
 //       Replay a recorded trace in a fresh VM and capture its pool.
+//   appclass_cli chaos <out.csv> [--rates=...] [--kinds=...]
+//                      [--no-sanitize] [--seed=N]
+//       Sweep monitoring-fault kinds x rates over the five canonical
+//       workloads and write the accuracy-degradation curve as CSV
+//       (docs/robustness.md).
 //
 // Global flags (any position, any subcommand):
 //   --log-level=<trace|debug|info|warn|error|off>
@@ -29,14 +34,18 @@
 //   --stats[=json|prom]
 //       After the command, print the metrics-registry snapshot (stage
 //       timing histograms, counters) as a table, JSON, or Prometheus text.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/feature_selection.hpp"
+#include "core/robustness.hpp"
 #include "obs/export.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -63,12 +72,43 @@ int usage() {
                "  apps\n"
                "  trace-record <app> <trace.csv>\n"
                "  trace-replay <trace.csv> <pool.csv>\n"
+               "  chaos <out.csv> [--rates=0,0.1,...] [--kinds=drop,...]"
+               " [--no-sanitize] [--seed=N]\n"
                "flags:\n"
                "  --log-level=<trace|debug|info|warn|error|off>  stderr "
                "logging (default off)\n"
                "  --stats[=json|prom]  print the metrics registry snapshot "
                "after the command\n");
   return 2;
+}
+
+/// Strict numeric parsing: the whole token must be a finite number.
+/// Malformed input yields nullopt so callers print a usage error instead
+/// of silently treating junk as 0 (std::atof's behaviour).
+std::optional<double> parse_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<long long> parse_int(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
+std::vector<std::string> split_csv_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) out.push_back(item);
+  return out;
 }
 
 std::string read_file(const std::string& path) {
@@ -214,6 +254,84 @@ int cmd_trace_replay(const std::string& trace_path,
   return 0;
 }
 
+int cmd_chaos(const std::string& out_path,
+              const std::vector<std::string>& flags) {
+  core::ChaosOptions options;
+  for (const auto& flag : flags) {
+    if (flag == "--no-sanitize") {
+      options.sanitize = false;
+    } else if (flag.rfind("--rates=", 0) == 0) {
+      options.rates.clear();
+      for (const auto& token :
+           split_csv_list(flag.substr(std::strlen("--rates=")))) {
+        const auto rate = parse_double(token);
+        if (!rate || *rate < 0.0 || *rate > 1.0) {
+          std::fprintf(stderr,
+                       "chaos: bad rate '%s' (expected numbers in [0, 1])\n",
+                       token.c_str());
+          return 2;
+        }
+        options.rates.push_back(*rate);
+      }
+      if (options.rates.empty()) {
+        std::fprintf(stderr, "chaos: --rates needs at least one value\n");
+        return 2;
+      }
+    } else if (flag.rfind("--kinds=", 0) == 0) {
+      options.kinds.clear();
+      for (const auto& token :
+           split_csv_list(flag.substr(std::strlen("--kinds=")))) {
+        const auto kind = core::fault_kind_from_string(token);
+        if (!kind) {
+          std::fprintf(stderr, "chaos: unknown fault kind '%s' (known:",
+                       token.c_str());
+          for (const auto k : core::all_fault_kinds())
+            std::fprintf(stderr, " %s",
+                         std::string(core::to_string(k)).c_str());
+          std::fprintf(stderr, ")\n");
+          return 2;
+        }
+        options.kinds.push_back(*kind);
+      }
+    } else if (flag.rfind("--seed=", 0) == 0) {
+      const auto seed = parse_int(flag.substr(std::strlen("--seed=")));
+      if (!seed || *seed < 0) {
+        std::fprintf(stderr, "chaos: bad seed '%s'\n",
+                     flag.substr(std::strlen("--seed=")).c_str());
+        return 2;
+      }
+      options.seed = static_cast<std::uint64_t>(*seed);
+    } else {
+      std::fprintf(stderr, "chaos: unknown flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("training on the five canonical simulated runs...\n");
+  const core::ClassificationPipeline pipeline = core::make_trained_pipeline();
+  std::printf("recording the five canonical workload streams...\n");
+  const auto runs = core::record_canonical_runs(options);
+  std::printf("sweeping %zu fault kinds x %zu rates (sanitizer %s)...\n",
+              options.kinds.empty() ? core::all_fault_kinds().size()
+                                    : options.kinds.size(),
+              options.rates.size(), options.sanitize ? "on" : "off");
+  const auto cells = core::run_chaos_sweep(pipeline, runs, options);
+  write_file(out_path, core::chaos_csv(cells));
+
+  std::size_t flipped = 0;
+  double worst_accuracy = 1.0;
+  for (const auto& c : cells) {
+    if (!c.majority_ok) ++flipped;
+    if (c.survived_samples > 0 && c.accuracy < worst_accuracy)
+      worst_accuracy = c.accuracy;
+  }
+  std::printf(
+      "%zu cells -> %s (majority flipped in %zu cells; worst surviving "
+      "per-snapshot accuracy %.1f%%)\n",
+      cells.size(), out_path.c_str(), flipped, 100.0 * worst_accuracy);
+  return 0;
+}
+
 int cmd_apps() {
   for (const auto& name : workloads::catalog_names())
     std::printf("%s\n", name.c_str());
@@ -225,9 +343,21 @@ int run_command(const std::vector<std::string>& args) {
   if (argc < 2) return usage();
   const std::string& command = args[1];
   if (command == "train" && argc == 3) return cmd_train(args[2]);
-  if (command == "profile" && (argc == 4 || argc == 5))
-    return cmd_profile(args[2], args[3],
-                       argc == 5 ? std::atof(args[4].c_str()) : 256.0);
+  if (command == "profile" && (argc == 4 || argc == 5)) {
+    double vm_ram_mb = 256.0;
+    if (argc == 5) {
+      const auto parsed = parse_double(args[4]);
+      if (!parsed || *parsed <= 0.0) {
+        std::fprintf(stderr,
+                     "profile: bad vm_ram_mb '%s' (expected a positive "
+                     "number)\n",
+                     args[4].c_str());
+        return 2;
+      }
+      vm_ram_mb = *parsed;
+    }
+    return cmd_profile(args[2], args[3], vm_ram_mb);
+  }
   if (command == "classify" && argc == 4) return cmd_classify(args[2], args[3]);
   if (command == "info" && argc == 3) return cmd_info(args[2]);
   if (command == "features" && argc == 2) return cmd_features();
@@ -236,6 +366,9 @@ int run_command(const std::vector<std::string>& args) {
     return cmd_trace_record(args[2], args[3]);
   if (command == "trace-replay" && argc == 4)
     return cmd_trace_replay(args[2], args[3]);
+  if (command == "chaos" && argc >= 3)
+    return cmd_chaos(args[2],
+                     std::vector<std::string>(args.begin() + 3, args.end()));
   return usage();
 }
 
