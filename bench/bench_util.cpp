@@ -67,8 +67,9 @@ const core::ClassificationPipeline& trained_pipeline() {
 }
 
 void print_composition_header() {
-  std::printf("%-18s %8s %8s %8s %8s %8s %8s  %s\n", "application",
-              "samples", "idle%", "io%", "cpu%", "net%", "paging%", "class");
+  std::printf("%-18s %8s %8s %8s %8s %8s %8s %6s  %s\n", "application",
+              "samples", "idle%", "io%", "cpu%", "net%", "paging%", "conf",
+              "class");
 }
 
 void dump_registry_at_exit() {
@@ -81,13 +82,16 @@ void print_composition_row(const std::string& label,
                            const core::ClassificationResult& result) {
   const auto f = result.composition.fractions();
   using core::ApplicationClass;
-  std::printf("%-18s %8zu %8.2f %8.2f %8.2f %8.2f %8.2f  %s\n", label.c_str(),
-              result.composition.samples(),
+  // The confidence column uses the result's canonical reduction; bench
+  // tools must not refold the per-snapshot vectors themselves.
+  std::printf("%-18s %8zu %8.2f %8.2f %8.2f %8.2f %8.2f %6.2f  %s\n",
+              label.c_str(), result.composition.samples(),
               100.0 * f[core::index_of(ApplicationClass::kIdle)],
               100.0 * f[core::index_of(ApplicationClass::kIo)],
               100.0 * f[core::index_of(ApplicationClass::kCpu)],
               100.0 * f[core::index_of(ApplicationClass::kNetwork)],
               100.0 * f[core::index_of(ApplicationClass::kMemory)],
+              result.mean_confidence(),
               std::string(core::to_string(result.application_class)).c_str());
 }
 

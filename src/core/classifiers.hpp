@@ -84,7 +84,7 @@ class MajorityKnnAdapter final : public SnapshotClassifier {
     knn_.train(std::move(points), std::move(labels));
   }
   ApplicationClass classify(std::span<const double> point) const override {
-    return knn_.classify(point);
+    return knn_.query(point).labels.front();
   }
 
  private:

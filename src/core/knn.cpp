@@ -1,7 +1,5 @@
 #include "core/knn.hpp"
 
-#include <algorithm>
-#include <array>
 #include <cmath>
 #include <limits>
 
@@ -20,6 +18,7 @@ void KnnClassifier::train(linalg::Matrix points,
   APPCLASS_EXPECTS(points.rows() >= options_.k);
   points_ = std::move(points);
   labels_ = std::move(labels);
+  index_.build(points_, labels_, options_.k, options_.metric);
 }
 
 std::size_t KnnClassifier::dimension() const {
@@ -27,78 +26,126 @@ std::size_t KnnClassifier::dimension() const {
   return points_.cols();
 }
 
-double KnnClassifier::distance(std::span<const double> a,
-                               std::span<const double> b) const {
-  switch (options_.metric) {
-    case DistanceMetric::kManhattan:
-      return linalg::manhattan_distance(a, b);
-    case DistanceMetric::kEuclidean:
-    default:
-      return linalg::squared_distance(a, b);  // monotone in Euclidean
+QueryResult KnnClassifier::make_result(std::size_t count,
+                                       const QueryOptions& options) const {
+  APPCLASS_EXPECTS(trained());
+  QueryResult out;
+  out.count = count;
+  out.labels.resize(count);
+  if (options.vote_shares) out.vote_shares.resize(count);
+  if (options.neighbors) {
+    out.neighbors_per_query = std::min(options_.k, labels_.size());
+    out.neighbor_indices.resize(count * out.neighbors_per_query);
   }
+  if (options.novelty) out.novelty.resize(count);
+  return out;
+}
+
+namespace {
+
+/// The novelty score predates the Manhattan option and is defined as the
+/// *Euclidean* distance to the nearest training point regardless of the
+/// vote metric; under Euclidean it falls out of the kernel's hits[0] for
+/// free, under Manhattan it needs this scalar scan.
+double euclidean_novelty(const linalg::Matrix& points,
+                         std::span<const double> q) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points.rows(); ++i)
+    best = std::min(best, linalg::squared_distance(points.row(i), q));
+  return std::sqrt(best);
+}
+
+}  // namespace
+
+void KnnClassifier::query_rows(
+    const linalg::Matrix& points, std::size_t begin, std::size_t end,
+    const QueryOptions& options, QueryResult& out,
+    engine::BlockedKnnIndex::Scratch& scratch) const {
+  APPCLASS_EXPECTS(trained());
+  APPCLASS_EXPECTS(points.cols() == points_.cols());
+  APPCLASS_EXPECTS(begin <= end && end <= points.rows());
+  APPCLASS_EXPECTS(end <= out.count);
+  const bool euclidean = options_.metric == DistanceMetric::kEuclidean;
+  for (std::size_t r = begin; r < end; ++r) {
+    const auto q = points.row(r);
+    const auto hits = index_.top_k(q, scratch);
+    const auto vote = index_.vote(hits);
+    out.labels[r] = vote.label;
+    if (options.vote_shares) out.vote_shares[r] = vote.share;
+    if (options.neighbors) {
+      for (std::size_t j = 0; j < out.neighbors_per_query; ++j)
+        out.neighbor_indices[r * out.neighbors_per_query + j] =
+            hits[j].index;
+    }
+    if (options.novelty) {
+      // hits are ascending, so under Euclidean hits[0] already holds the
+      // global minimum squared distance — no second scan.
+      out.novelty[r] = euclidean ? std::sqrt(hits[0].distance)
+                                 : euclidean_novelty(points_, q);
+    }
+  }
+}
+
+QueryResult KnnClassifier::query(const linalg::Matrix& points,
+                                 const QueryOptions& options) const {
+  QueryResult out = make_result(points.rows(), options);
+  engine::BlockedKnnIndex::Scratch scratch;
+  query_rows(points, 0, points.rows(), options, out, scratch);
+  return out;
+}
+
+QueryResult KnnClassifier::query(std::span<const double> point,
+                                 const QueryOptions& options) const {
+  QueryResult out = make_result(1, options);
+  thread_local engine::BlockedKnnIndex::Scratch scratch;
+  const linalg::Matrix one =
+      linalg::Matrix::from_rows(1, point.size(),
+                                {point.begin(), point.end()});
+  query_rows(one, 0, 1, options, out, scratch);
+  return out;
+}
+
+ApplicationClass KnnClassifier::classify(std::span<const double> point) const {
+  // Allocation-free hot path for the online classifier: straight to the
+  // kernel, no QueryResult materialized.
+  APPCLASS_EXPECTS(trained());
+  APPCLASS_EXPECTS(point.size() == points_.cols());
+  thread_local engine::BlockedKnnIndex::Scratch scratch;
+  return index_.vote(index_.top_k(point, scratch)).label;
+}
+
+KnnClassifier::Labeled KnnClassifier::classify_with_confidence(
+    std::span<const double> point) const {
+  APPCLASS_EXPECTS(trained());
+  APPCLASS_EXPECTS(point.size() == points_.cols());
+  thread_local engine::BlockedKnnIndex::Scratch scratch;
+  const auto vote = index_.vote(index_.top_k(point, scratch));
+  return Labeled{vote.label, vote.share};
+}
+
+std::vector<ApplicationClass> KnnClassifier::classify(
+    const linalg::Matrix& points) const {
+  return query(points).labels;
 }
 
 std::vector<std::size_t> KnnClassifier::nearest(
     std::span<const double> point) const {
   APPCLASS_EXPECTS(trained());
   APPCLASS_EXPECTS(point.size() == points_.cols());
-  const std::size_t n = labels_.size();
-  const std::size_t k = std::min(options_.k, n);
-
-  // Partial selection of the k smallest distances.
-  std::vector<std::pair<double, std::size_t>> dist(n);
-  for (std::size_t i = 0; i < n; ++i)
-    dist[i] = {distance(points_.row(i), point), i};
-  std::partial_sort(dist.begin(),
-                    dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
-  std::vector<std::size_t> out(k);
-  for (std::size_t i = 0; i < k; ++i) out[i] = dist[i].second;
+  thread_local engine::BlockedKnnIndex::Scratch scratch;
+  const auto hits = index_.top_k(point, scratch);
+  std::vector<std::size_t> out(hits.size());
+  for (std::size_t i = 0; i < hits.size(); ++i) out[i] = hits[i].index;
   return out;
 }
 
 double KnnClassifier::nearest_distance(std::span<const double> point) const {
   APPCLASS_EXPECTS(trained());
   APPCLASS_EXPECTS(point.size() == points_.cols());
-  double best = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < labels_.size(); ++i)
-    best = std::min(best, linalg::squared_distance(points_.row(i), point));
-  return std::sqrt(best);
-}
-
-ApplicationClass KnnClassifier::classify(std::span<const double> point) const {
-  return classify_with_confidence(point).label;
-}
-
-KnnClassifier::Labeled KnnClassifier::classify_with_confidence(
-    std::span<const double> point) const {
-  const std::vector<std::size_t> nn = nearest(point);
-
-  // Majority vote; ties resolved by summed inverse rank (nearer wins).
-  std::array<int, kClassCount> votes{};
-  std::array<double, kClassCount> rank_weight{};
-  for (std::size_t r = 0; r < nn.size(); ++r) {
-    const std::size_t c = index_of(labels_[nn[r]]);
-    votes[c] += 1;
-    rank_weight[c] += 1.0 / static_cast<double>(r + 1);
-  }
-  std::size_t best = 0;
-  for (std::size_t c = 1; c < kClassCount; ++c) {
-    if (votes[c] > votes[best] ||
-        (votes[c] == votes[best] && rank_weight[c] > rank_weight[best]))
-      best = c;
-  }
-  return Labeled{class_from_index(best),
-                 static_cast<double>(votes[best]) /
-                     static_cast<double>(nn.size())};
-}
-
-std::vector<ApplicationClass> KnnClassifier::classify(
-    const linalg::Matrix& points) const {
-  std::vector<ApplicationClass> out;
-  out.reserve(points.rows());
-  for (std::size_t r = 0; r < points.rows(); ++r)
-    out.push_back(classify(points.row(r)));
-  return out;
+  if (options_.metric != DistanceMetric::kEuclidean)
+    return euclidean_novelty(points_, point);
+  thread_local engine::BlockedKnnIndex::Scratch scratch;
+  return std::sqrt(index_.nearest_distance(point, scratch));
 }
 
 }  // namespace appclass::core

@@ -62,14 +62,22 @@ void OnlineClassifier::refresh_window(NodeState& node, metrics::SimTime now) {
 std::optional<ApplicationClass> OnlineClassifier::observe(
     const metrics::Snapshot& snapshot) {
   OnlineMetrics& om = online_metrics();
-  if (snapshot.time % options_.sampling_interval_s != 0) {
+  if (!on_grid(snapshot)) {
     om.skipped.inc();
     return std::nullopt;
   }
 
   obs::ScopedTimer observe_timer(om.observe_seconds);
-  om.observed.inc();
   const ApplicationClass label = pipeline_.classify(snapshot);
+  ingest(snapshot, label);
+  return label;
+}
+
+void OnlineClassifier::ingest(const metrics::Snapshot& snapshot,
+                              ApplicationClass label) {
+  APPCLASS_EXPECTS(on_grid(snapshot));
+  OnlineMetrics& om = online_metrics();
+  om.observed.inc();
   ++classified_;
 
   NodeState& node = nodes_.try_emplace(snapshot.node_ip).first->second;
@@ -91,7 +99,7 @@ std::optional<ApplicationClass> OnlineClassifier::observe(
                        {"time", snapshot.time},
                        {"coverage", node.coverage},
                        {"window", node.window.size()});
-    return label;
+    return;
   }
 
   // Debounced dominant-class tracking: the rolling majority must differ
@@ -124,7 +132,6 @@ std::optional<ApplicationClass> OnlineClassifier::observe(
   } else {
     node.candidate_streak = 0;
   }
-  return label;
 }
 
 std::optional<ClassComposition> OnlineClassifier::composition(

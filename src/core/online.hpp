@@ -59,8 +59,21 @@ class OnlineClassifier {
                    OnlineOptions options = {});
 
   /// Feeds one announced snapshot; classifies it if it falls on the
-  /// sampling grid. Returns the label assigned, if any.
+  /// sampling grid. Returns the label assigned, if any. Equivalent to
+  /// on_grid() + pipeline.classify() + ingest().
   std::optional<ApplicationClass> observe(const metrics::Snapshot& snapshot);
+
+  /// True when `snapshot` falls on the sampling grid (would be classified).
+  bool on_grid(const metrics::Snapshot& snapshot) const noexcept {
+    return snapshot.time % options_.sampling_interval_s == 0;
+  }
+
+  /// Applies an already-computed label for a grid-aligned snapshot:
+  /// window/coverage bookkeeping, debounce, change callback. Split from
+  /// observe() so a fleet drain can classify a batch of buffered
+  /// snapshots in parallel and then ingest the labels serially in push
+  /// order — state updates stay single-threaded and deterministic.
+  void ingest(const metrics::Snapshot& snapshot, ApplicationClass label);
 
   /// Called whenever a node's debounced dominant class changes.
   void on_change(ChangeCallback callback) { callback_ = std::move(callback); }

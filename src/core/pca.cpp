@@ -97,11 +97,21 @@ std::span<const double> Pca::mean() const {
 linalg::Matrix Pca::transform(const linalg::Matrix& samples) const {
   APPCLASS_EXPECTS(fitted_);
   APPCLASS_EXPECTS(samples.cols() == projection_.rows());
-  const std::size_t m = samples.rows();
+  linalg::Matrix out(samples.rows(), projection_.cols());
+  transform_rows(samples, 0, samples.rows(), out);
+  return out;
+}
+
+void Pca::transform_rows(const linalg::Matrix& samples, std::size_t begin,
+                         std::size_t end, linalg::Matrix& out) const {
+  APPCLASS_EXPECTS(fitted_);
+  APPCLASS_EXPECTS(samples.cols() == projection_.rows());
+  APPCLASS_EXPECTS(begin <= end && end <= samples.rows());
+  APPCLASS_EXPECTS(out.rows() == samples.rows() &&
+                   out.cols() == projection_.cols());
   const std::size_t q = projection_.cols();
-  linalg::Matrix out(m, q);
   std::vector<double> centered(projection_.rows());
-  for (std::size_t r = 0; r < m; ++r) {
+  for (std::size_t r = begin; r < end; ++r) {
     auto row = samples.row(r);
     for (std::size_t c = 0; c < centered.size(); ++c)
       centered[c] = row[c] - mean_[c];
@@ -112,7 +122,6 @@ linalg::Matrix Pca::transform(const linalg::Matrix& samples) const {
       out(r, j) = s;
     }
   }
-  return out;
 }
 
 std::vector<double> Pca::transform(std::span<const double> row) const {

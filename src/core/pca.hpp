@@ -56,6 +56,13 @@ class Pca {
   /// paper's B(q x m) step (observation-major here).
   linalg::Matrix transform(const linalg::Matrix& samples) const;
 
+  /// Projects rows [begin, end) of `samples` into the same rows of `out`
+  /// (pre-sized m x q) — the sharded form of transform(Matrix). Each row
+  /// is arithmetically independent, so any shard partition reassembles
+  /// to the exact transform(Matrix) result.
+  void transform_rows(const linalg::Matrix& samples, std::size_t begin,
+                      std::size_t end, linalg::Matrix& out) const;
+
   /// Projects one observation.
   std::vector<double> transform(std::span<const double> row) const;
 

@@ -16,6 +16,9 @@ struct PipelineMetrics {
   obs::Histogram& pca_project = obs::stage_histogram("pca_project");
   obs::Histogram& knn_query = obs::stage_histogram("knn_query");
   obs::Histogram& vote = obs::stage_histogram("vote");
+  /// Wall time of one engine shard (PCA-projection or k-NN slice); its
+  /// count exposes how many shards a run actually fanned out.
+  obs::Histogram& shard = obs::stage_histogram("engine_shard");
   obs::Counter& trains = obs::MetricsRegistry::global().counter(
       "appclass_pipeline_train_total");
   obs::Counter& pools = obs::MetricsRegistry::global().counter(
@@ -31,28 +34,54 @@ PipelineMetrics& pipeline_metrics() {
 
 }  // namespace
 
+double ClassificationResult::mean_confidence() const {
+  if (confidences.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double c : confidences) sum += c;
+  return sum / static_cast<double>(confidences.size());
+}
+
+double ClassificationResult::novel_fraction() const {
+  if (novelty_threshold <= 0.0 || novelty.empty()) return 0.0;
+  std::size_t novel = 0;
+  for (const double d : novelty)
+    if (d > novelty_threshold) ++novel;
+  return static_cast<double>(novel) / static_cast<double>(novelty.size());
+}
+
 ClassificationPipeline::ClassificationPipeline(PipelineOptions options)
     : options_(options),
       preprocessor_(options.selected_metrics.empty()
                         ? Preprocessor{}
                         : Preprocessor{options.selected_metrics}),
       pca_(options.pca),
-      knn_(options.knn) {}
+      knn_(options.knn),
+      context_(engine::ExecutionContext::make(options.parallelism)) {}
+
+void ClassificationPipeline::set_parallelism(std::size_t parallelism) {
+  options_.parallelism = parallelism;
+  context_ = engine::ExecutionContext::make(parallelism);
+}
 
 void ClassificationPipeline::train(const std::vector<LabeledPool>& training) {
   APPCLASS_EXPECTS(!training.empty());
   PipelineMetrics& pm = pipeline_metrics();
 
-  // Stack the raw selected metrics of every training pool.
+  // Extract the raw selected metrics of every training pool — one task
+  // per pool on the context — then stack them serially in pool order, so
+  // the training matrix is independent of the thread count.
   obs::ScopedTimer preprocess_timer(pm.preprocess);
+  std::vector<linalg::Matrix> raws(training.size());
+  context_->for_each(training.size(), [&](std::size_t p) {
+    APPCLASS_EXPECTS(!training[p].pool.empty());
+    raws[p] = preprocessor_.extract(training[p].pool);
+  });
   linalg::Matrix stacked;
   std::vector<ApplicationClass> labels;
-  for (const auto& lp : training) {
-    APPCLASS_EXPECTS(!lp.pool.empty());
-    const linalg::Matrix raw = preprocessor_.extract(lp.pool);
-    for (std::size_t r = 0; r < raw.rows(); ++r) {
-      stacked.append_row(raw.row(r));
-      labels.push_back(lp.label);
+  for (std::size_t p = 0; p < training.size(); ++p) {
+    for (std::size_t r = 0; r < raws[p].rows(); ++r) {
+      stacked.append_row(raws[p].row(r));
+      labels.push_back(training[p].label);
     }
   }
 
@@ -65,17 +94,24 @@ void ClassificationPipeline::train(const std::vector<LabeledPool>& training) {
   fit_timer.stop();
 
   obs::ScopedTimer project_timer(pm.pca_project);
-  const linalg::Matrix projected = pca_.transform(normalized);
+  linalg::Matrix projected(normalized.rows(), pca_.components());
+  context_->for_shards(
+      normalized.rows(), engine::kDefaultGrain,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        obs::ScopedTimer shard_timer(pm.shard);
+        pca_.transform_rows(normalized, begin, end, projected);
+      });
   project_timer.stop();
 
-  knn_.train(projected, std::move(labels));
+  knn_.train(std::move(projected), std::move(labels));
   trained_ = true;
   pm.trains.inc();
   APPCLASS_LOG_INFO("pipeline.train",
                     {"training_snapshots", knn_.training_size()},
                     {"input_dims", pca_.input_dimension()},
                     {"components", pca_.components()},
-                    {"captured_variance", pca_.captured_variance()});
+                    {"captured_variance", pca_.captured_variance()},
+                    {"parallelism", context_->parallelism()});
 }
 
 ClassificationPipeline ClassificationPipeline::restore(
@@ -99,54 +135,55 @@ ClassificationResult ClassificationPipeline::classify(
   APPCLASS_EXPECTS(!pool.empty());
   PipelineMetrics& pm = pipeline_metrics();
   ClassificationResult result;
+  result.novelty_threshold = options_.novelty_threshold;
 
   obs::ScopedTimer preprocess_timer(pm.preprocess);
   const linalg::Matrix normalized = preprocessor_.transform(pool);
   preprocess_timer.stop();
 
+  const std::size_t m = normalized.rows();
+
   obs::ScopedTimer project_timer(pm.pca_project);
-  result.projected = pca_.transform(normalized);
+  result.projected = linalg::Matrix(m, pca_.components());
+  context_->for_shards(m, engine::kDefaultGrain,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         obs::ScopedTimer shard_timer(pm.shard);
+                         pca_.transform_rows(normalized, begin, end,
+                                             result.projected);
+                       });
   project_timer.stop();
 
-  result.class_vector.reserve(result.projected.rows());
-  result.confidences.reserve(result.projected.rows());
-  double confidence_sum = 0.0;
-  std::size_t novel = 0;
-  // One clock pair for the whole query loop; the histogram is charged the
-  // mean per snapshot so its count equals snapshots classified.
+  // Sharded k-NN: every shard answers its rows into pre-sized slots with
+  // its own kernel scratch; one clock pair for the whole fan-out, the
+  // histogram charged the mean per snapshot.
+  const QueryOptions query_options{
+      .vote_shares = true,
+      .neighbors = false,
+      .novelty = options_.novelty_threshold > 0.0};
   obs::ScopedTimer knn_timer(pm.knn_query);
-  for (std::size_t r = 0; r < result.projected.rows(); ++r) {
-    const auto labeled =
-        knn_.classify_with_confidence(result.projected.row(r));
-    result.class_vector.push_back(labeled.label);
-    result.confidences.push_back(labeled.confidence);
-    confidence_sum += labeled.confidence;
-    if (options_.novelty_threshold > 0.0) {
-      const double distance =
-          knn_.nearest_distance(result.projected.row(r));
-      result.novelty.push_back(distance);
-      if (distance > options_.novelty_threshold) ++novel;
-    }
-  }
-  knn_timer.stop_and_observe_per_item(result.projected.rows());
+  QueryResult queries = knn_.make_result(m, query_options);
+  context_->for_shards(m, engine::kDefaultGrain,
+                       [&](std::size_t begin, std::size_t end, std::size_t) {
+                         obs::ScopedTimer shard_timer(pm.shard);
+                         engine::BlockedKnnIndex::Scratch scratch;
+                         knn_.query_rows(result.projected, begin, end,
+                                         query_options, queries, scratch);
+                       });
+  knn_timer.stop_and_observe_per_item(m);
 
   obs::ScopedTimer vote_timer(pm.vote);
-  result.mean_confidence =
-      confidence_sum / static_cast<double>(result.projected.rows());
-  if (options_.novelty_threshold > 0.0)
-    result.novel_fraction =
-        static_cast<double>(novel) /
-        static_cast<double>(result.projected.rows());
+  result.class_vector = std::move(queries.labels);
+  result.confidences = std::move(queries.vote_shares);
+  result.novelty = std::move(queries.novelty);
   result.composition = ClassComposition(result.class_vector);
   result.application_class = result.composition.dominant();
   vote_timer.stop();
 
   pm.pools.inc();
-  pm.snapshots.inc(result.projected.rows());
-  APPCLASS_LOG_DEBUG("pipeline.classify",
-                     {"snapshots", result.projected.rows()},
+  pm.snapshots.inc(m);
+  APPCLASS_LOG_DEBUG("pipeline.classify", {"snapshots", m},
                      {"class", to_string(result.application_class)},
-                     {"mean_confidence", result.mean_confidence});
+                     {"mean_confidence", result.mean_confidence()});
   return result;
 }
 

@@ -6,8 +6,18 @@
 // Training fits the normalization and PCA on the labelled training pools
 // and stores the projected training points in the k-NN; classification
 // replays the fitted transforms on a test pool.
+//
+// Execution model: every batch loop (training-pool extraction, PCA
+// projection, the per-snapshot k-NN queries) runs through one
+// engine::ExecutionContext. `PipelineOptions::parallelism` selects it at
+// construction — 1 is serial on the calling thread, N > 1 shards the
+// same loops over a work-stealing pool of N threads. Shard boundaries
+// and reduction order are thread-count-independent, so results are
+// bit-identical whichever you pick; there is no separate parallel code
+// path for callers to opt into.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +25,7 @@
 #include "core/knn.hpp"
 #include "core/pca.hpp"
 #include "core/preprocess.hpp"
+#include "engine/context.hpp"
 #include "metrics/snapshot.hpp"
 
 namespace appclass::core {
@@ -41,27 +52,41 @@ struct PipelineOptions {
   /// disables novelty accounting. The trained clusters live within a few
   /// units of each other (z-scored inputs), so ~2-4 is a useful range.
   double novelty_threshold = 0.0;
+  /// Execution width: 1 = serial (default), N = a pool of N worker
+  /// threads, 0 = one worker per hardware core. Results are
+  /// bit-identical for every value.
+  std::size_t parallelism = 1;
 };
 
 /// Result of classifying one application run.
+///
+/// Scalar summaries are *derived* from the vectors by the accessors
+/// below — there is exactly one implementation of each reduction, here,
+/// instead of every bench tool folding the vectors its own way.
 struct ClassificationResult {
   /// Per-snapshot classes — the paper's C(1 x m).
   std::vector<ApplicationClass> class_vector;
   /// Per-snapshot k-NN vote share of the winning class (in (0, 1]);
   /// 1.0 means a unanimous neighbourhood.
   std::vector<double> confidences;
-  /// Mean of `confidences` (0 for an empty pool).
-  double mean_confidence = 0.0;
-  /// Per-snapshot distance to the nearest training point (novelty score).
+  /// Per-snapshot distance to the nearest training point (novelty
+  /// score); empty when novelty accounting is disabled.
   std::vector<double> novelty;
-  /// Fraction of snapshots beyond the novelty threshold (0 when disabled).
-  double novel_fraction = 0.0;
+  /// The novelty threshold the pipeline classified under (0 = disabled).
+  double novelty_threshold = 0.0;
   /// Snapshot shares per class.
   ClassComposition composition;
   /// Majority vote — the application's Class.
   ApplicationClass application_class = ApplicationClass::kIdle;
   /// Snapshots projected to PCA space (m x q), for cluster diagrams.
   linalg::Matrix projected;
+
+  /// Mean of `confidences` (0 for an empty result) — the canonical
+  /// reduction; do not recompute it at call sites.
+  double mean_confidence() const;
+  /// Fraction of snapshots whose novelty score exceeds the threshold
+  /// (0 when novelty accounting was disabled).
+  double novel_fraction() const;
 };
 
 class ClassificationPipeline {
@@ -69,12 +94,13 @@ class ClassificationPipeline {
   explicit ClassificationPipeline(PipelineOptions options = {});
 
   /// Fits preprocessing + PCA on the union of the training pools and
-  /// trains the k-NN on their projected snapshots.
+  /// trains the k-NN on their projected snapshots. Per-pool extraction
+  /// and training-set projection run on the execution context.
   void train(const std::vector<LabeledPool>& training);
 
   bool trained() const noexcept { return trained_; }
 
-  /// Classifies a full run.
+  /// Classifies a full run (sharded over the execution context).
   ClassificationResult classify(const metrics::DataPool& pool) const;
 
   /// Classifies one snapshot (online mode).
@@ -88,6 +114,16 @@ class ClassificationPipeline {
   static ClassificationPipeline restore(Preprocessor preprocessor, Pca pca,
                                         KnnClassifier knn);
 
+  /// Replaces the execution context (e.g. after restore, or the CLI's
+  /// --threads flag): 1 = serial, N = pool of N, 0 = hardware cores.
+  void set_parallelism(std::size_t parallelism);
+
+  /// The execution context batch work runs on (shared with the fleet
+  /// engine when one wraps this pipeline).
+  const std::shared_ptr<engine::ExecutionContext>& context() const noexcept {
+    return context_;
+  }
+
   /// Training points in PCA space with their labels (cluster diagrams,
   /// Figure 3(a)).
   const KnnClassifier& knn() const noexcept { return knn_; }
@@ -99,6 +135,7 @@ class ClassificationPipeline {
   Preprocessor preprocessor_;
   Pca pca_;
   KnnClassifier knn_;
+  std::shared_ptr<engine::ExecutionContext> context_;
   bool trained_ = false;
 };
 

@@ -1,0 +1,100 @@
+#include "engine/fleet.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace appclass::engine {
+namespace {
+
+struct FleetMetrics {
+  obs::Gauge& backlog =
+      obs::MetricsRegistry::global().gauge("appclass_fleet_backlog");
+  obs::Counter& drained = obs::MetricsRegistry::global().counter(
+      "appclass_fleet_drained_total");
+  obs::Counter& batch_pools = obs::MetricsRegistry::global().counter(
+      "appclass_fleet_batch_pools_total");
+};
+
+FleetMetrics& fleet_metrics() {
+  static FleetMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+std::vector<core::ClassificationResult> BatchClassifier::classify_pools(
+    const std::vector<metrics::DataPool>& pools) const {
+  APPCLASS_EXPECTS(pipeline_.trained());
+  std::vector<core::ClassificationResult> results(pools.size());
+  // One task per pool; classify() shards further on the same context
+  // (nested parallel_for is cooperative, so this never deadlocks).
+  pipeline_.context()->for_each(pools.size(), [&](std::size_t p) {
+    results[p] = pipeline_.classify(pools[p]);
+  });
+  fleet_metrics().batch_pools.inc(pools.size());
+  return results;
+}
+
+FleetStream::FleetStream(const core::ClassificationPipeline& pipeline,
+                         core::OnlineOptions options)
+    : pipeline_(pipeline), online_(pipeline, options) {}
+
+FleetStream::~FleetStream() { detach(); }
+
+void FleetStream::push(const metrics::Snapshot& snapshot) {
+  if (!online_.on_grid(snapshot)) return;
+  const std::lock_guard lock(mutex_);
+  pending_.push_back(snapshot);
+  fleet_metrics().backlog.add(1.0);
+}
+
+std::size_t FleetStream::backlog() const {
+  const std::lock_guard lock(mutex_);
+  return pending_.size();
+}
+
+std::size_t FleetStream::drain() {
+  std::vector<metrics::Snapshot> batch;
+  {
+    const std::lock_guard lock(mutex_);
+    batch.swap(pending_);
+  }
+  if (batch.empty()) return 0;
+  FleetMetrics& fm = fleet_metrics();
+  fm.backlog.add(-static_cast<double>(batch.size()));
+
+  // Parallel classification (the pipeline's snapshot path is const and
+  // uses thread-local kernel scratch), then strictly serial ingestion in
+  // push order — the per-node windows and debounce see exactly the
+  // sequence observe() would have.
+  std::vector<core::ApplicationClass> labels(batch.size());
+  pipeline_.context()->for_each(batch.size(), [&](std::size_t i) {
+    labels[i] = pipeline_.classify(batch[i]);
+  });
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    online_.ingest(batch[i], labels[i]);
+
+  fm.drained.inc(batch.size());
+  APPCLASS_LOG_DEBUG("fleet.drain", {"snapshots", batch.size()},
+                     {"parallelism", pipeline_.context()->parallelism()});
+  return batch.size();
+}
+
+void FleetStream::attach(monitor::MetricBus& bus) {
+  detach();
+  bus_ = &bus;
+  subscription_ = bus.subscribe(
+      [this](const metrics::Snapshot& snapshot) { push(snapshot); });
+}
+
+void FleetStream::detach() {
+  if (bus_ == nullptr) return;
+  bus_->unsubscribe(subscription_);
+  bus_ = nullptr;
+  subscription_ = 0;
+}
+
+}  // namespace appclass::engine

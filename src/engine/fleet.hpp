@@ -1,0 +1,86 @@
+// Fleet-scale classification: many pools / many nodes' online streams
+// through one trained pipeline.
+//
+// Two entry points share the pipeline's engine::ExecutionContext:
+//
+//   * BatchClassifier fans a set of DataPools out as one task per pool
+//     (each pool's classify() additionally shards internally), for
+//     offline jobs that re-classify a whole fleet's recorded runs.
+//   * FleetStream is the online counterpart: it buffers grid-aligned
+//     snapshots pushed from any thread (e.g. a monitor::MetricBus
+//     subscription) and, on drain(), classifies the backlog in parallel
+//     but ingests the labels into the OnlineClassifier serially in push
+//     order — so window state, debounce, and change events are
+//     bit-identical to calling observe() snapshot by snapshot.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "core/online.hpp"
+#include "core/pipeline.hpp"
+#include "metrics/snapshot.hpp"
+#include "monitor/bus.hpp"
+
+namespace appclass::engine {
+
+/// Classifies many recorded runs concurrently. Results are indexed like
+/// the input and independent of the thread count.
+class BatchClassifier {
+ public:
+  /// The pipeline must stay alive for the classifier's lifetime.
+  explicit BatchClassifier(const core::ClassificationPipeline& pipeline)
+      : pipeline_(pipeline) {}
+
+  /// One ClassificationResult per pool, in input order.
+  std::vector<core::ClassificationResult> classify_pools(
+      const std::vector<metrics::DataPool>& pools) const;
+
+ private:
+  const core::ClassificationPipeline& pipeline_;
+};
+
+/// Online fan-in for a whole fleet of nodes.
+class FleetStream {
+ public:
+  /// The pipeline must stay alive for the stream's lifetime.
+  FleetStream(const core::ClassificationPipeline& pipeline,
+              core::OnlineOptions options = {});
+  ~FleetStream();
+
+  FleetStream(const FleetStream&) = delete;
+  FleetStream& operator=(const FleetStream&) = delete;
+
+  /// Buffers one snapshot if it falls on the sampling grid (thread-safe;
+  /// off-grid snapshots are dropped exactly as observe() would skip them).
+  void push(const metrics::Snapshot& snapshot);
+
+  /// Classifies the buffered backlog in parallel on the pipeline's
+  /// execution context, then ingests the labels serially in push order.
+  /// Returns the number of snapshots classified.
+  std::size_t drain();
+
+  /// Snapshots buffered and not yet drained (thread-safe).
+  std::size_t backlog() const;
+
+  /// Subscribes push() to a bus; detaches from any previous bus first.
+  /// The bus must outlive the stream (or call detach() before it dies).
+  void attach(monitor::MetricBus& bus);
+  void detach();
+
+  /// Per-node rolling state (compositions, stable classes, change
+  /// callback registration). Not thread-safe against a concurrent
+  /// drain() — inspect between drains.
+  core::OnlineClassifier& online() noexcept { return online_; }
+  const core::OnlineClassifier& online() const noexcept { return online_; }
+
+ private:
+  const core::ClassificationPipeline& pipeline_;
+  core::OnlineClassifier online_;
+  mutable std::mutex mutex_;  // guards pending_ only
+  std::vector<metrics::Snapshot> pending_;
+  monitor::MetricBus* bus_ = nullptr;
+  monitor::SubscriptionId subscription_ = 0;
+};
+
+}  // namespace appclass::engine

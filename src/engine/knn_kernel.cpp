@@ -1,0 +1,221 @@
+#include "engine/knn_kernel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace appclass::engine {
+namespace {
+
+/// Relative slack applied to the prune bound: computed distances carry a
+/// handful of ulps of rounding, the bound is slackened by ~1e-6 — six
+/// orders of magnitude more than needed, still pruning everything a real
+/// novelty outlier should prune.
+constexpr double kPruneSlack = 0.999999;
+
+}  // namespace
+
+void BlockedKnnIndex::build(const linalg::Matrix& points,
+                            std::vector<core::ApplicationClass> labels,
+                            std::size_t k, DistanceMetric metric) {
+  APPCLASS_EXPECTS(points.rows() == labels.size());
+  APPCLASS_EXPECTS(points.rows() >= 1);
+  APPCLASS_EXPECTS(points.cols() >= 1);
+  const std::size_t n = points.rows();
+  dims_ = points.cols();
+  k_ = k;
+  metric_ = metric;
+  labels_ = std::move(labels);
+  padded_ = (n + kTile - 1) / kTile * kTile;
+
+  // Feature-major copy: feature j of point i at features_[j * padded_ + i].
+  features_.assign(dims_ * padded_, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = points.row(i);
+    for (std::size_t j = 0; j < dims_; ++j)
+      features_[j * padded_ + i] = row[j];
+  }
+
+  // Per-point norms (ascending-feature accumulation, like the distances)
+  // and per-tile unsquared bounds for the prune test.
+  sq_norms_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    const auto row = points.row(i);
+    if (metric_ == DistanceMetric::kManhattan) {
+      for (std::size_t j = 0; j < dims_; ++j) acc += std::abs(row[j]);
+    } else {
+      for (std::size_t j = 0; j < dims_; ++j) acc += row[j] * row[j];
+    }
+    sq_norms_[i] = acc;
+  }
+  const std::size_t tiles = padded_ / kTile;
+  tile_min_norm_.assign(tiles, std::numeric_limits<double>::infinity());
+  tile_max_norm_.assign(tiles, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double norm = metric_ == DistanceMetric::kManhattan
+                            ? sq_norms_[i]
+                            : std::sqrt(sq_norms_[i]);
+    const std::size_t t = i / kTile;
+    tile_min_norm_[t] = std::min(tile_min_norm_[t], norm);
+    tile_max_norm_[t] = std::max(tile_max_norm_[t], norm);
+  }
+}
+
+double BlockedKnnIndex::query_norm(std::span<const double> q) const {
+  double acc = 0.0;
+  if (metric_ == DistanceMetric::kManhattan) {
+    for (const double v : q) acc += std::abs(v);
+    return acc;
+  }
+  for (const double v : q) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double BlockedKnnIndex::tile_lower_bound(std::size_t t, double qnorm) const {
+  // Reverse triangle inequality: d(q, x) >= |norm(q) - norm(x)| for any
+  // norm-induced metric. Zero (never prunes) when qnorm falls inside the
+  // tile's norm range.
+  double delta = 0.0;
+  if (qnorm < tile_min_norm_[t])
+    delta = tile_min_norm_[t] - qnorm;
+  else if (qnorm > tile_max_norm_[t])
+    delta = qnorm - tile_max_norm_[t];
+  else
+    return 0.0;
+  const double bound =
+      metric_ == DistanceMetric::kManhattan ? delta : delta * delta;
+  return bound * kPruneSlack;
+}
+
+void BlockedKnnIndex::tile_distances(std::span<const double> q,
+                                     std::size_t t0, std::size_t width,
+                                     std::vector<double>& acc) const {
+  // Vectorizes across the tile's points; each point's accumulator sees
+  // features in ascending order — the exact summation order of
+  // linalg::squared_distance / manhattan_distance.
+  std::fill(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(width),
+            0.0);
+  double* const a = acc.data();
+  if (metric_ == DistanceMetric::kManhattan) {
+    for (std::size_t j = 0; j < dims_; ++j) {
+      const double qj = q[j];
+      const double* const col = features_.data() + j * padded_ + t0;
+      for (std::size_t i = 0; i < width; ++i)
+        a[i] += std::abs(col[i] - qj);
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < dims_; ++j) {
+    const double qj = q[j];
+    const double* const col = features_.data() + j * padded_ + t0;
+    for (std::size_t i = 0; i < width; ++i) {
+      const double d = col[i] - qj;
+      a[i] += d * d;
+    }
+  }
+}
+
+std::span<const BlockedKnnIndex::Hit> BlockedKnnIndex::top_k(
+    std::span<const double> q, Scratch& scratch) const {
+  APPCLASS_EXPECTS(built());
+  APPCLASS_EXPECTS(q.size() == dims_);
+  const std::size_t n = labels_.size();
+  const std::size_t k = std::min(k_, n);
+  scratch.acc.resize(kTile);
+  scratch.hits.resize(k);
+  Hit* const hits = scratch.hits.data();
+  std::size_t count = 0;
+  const double qnorm = query_norm(q);
+
+  for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
+    const std::size_t width = std::min(kTile, n - t0);
+    if (count == k &&
+        tile_lower_bound(t0 / kTile, qnorm) > hits[k - 1].distance)
+      continue;
+    tile_distances(q, t0, width, scratch.acc);
+    for (std::size_t i = 0; i < width; ++i) {
+      const double d = scratch.acc[i];
+      // Candidates arrive in ascending index, so a distance tie keeps
+      // the incumbent — the (distance, index) pair order of the seed's
+      // partial_sort.
+      if (count == k && d >= hits[k - 1].distance) continue;
+      std::size_t pos = count < k ? count : k - 1;
+      while (pos > 0 && d < hits[pos - 1].distance) {
+        hits[pos] = hits[pos - 1];
+        --pos;
+      }
+      hits[pos] =
+          Hit{d, static_cast<std::uint32_t>(t0 + i)};
+      if (count < k) ++count;
+    }
+  }
+  return {hits, count};
+}
+
+double BlockedKnnIndex::nearest_distance(std::span<const double> q,
+                                         Scratch& scratch) const {
+  APPCLASS_EXPECTS(built());
+  APPCLASS_EXPECTS(q.size() == dims_);
+  const std::size_t n = labels_.size();
+  scratch.acc.resize(kTile);
+  double best = std::numeric_limits<double>::infinity();
+  const double qnorm = query_norm(q);
+  for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
+    const std::size_t width = std::min(kTile, n - t0);
+    if (tile_lower_bound(t0 / kTile, qnorm) > best) continue;
+    tile_distances(q, t0, width, scratch.acc);
+    for (std::size_t i = 0; i < width; ++i)
+      best = std::min(best, scratch.acc[i]);
+  }
+  return best;
+}
+
+BlockedKnnIndex::Vote BlockedKnnIndex::vote(std::span<const Hit> hits) const {
+  APPCLASS_EXPECTS(!hits.empty());
+  // Majority vote; ties resolved by summed inverse rank (nearer wins) —
+  // verbatim the seed classifier's rule.
+  std::array<int, core::kClassCount> votes{};
+  std::array<double, core::kClassCount> rank_weight{};
+  for (std::size_t r = 0; r < hits.size(); ++r) {
+    const std::size_t c = core::index_of(labels_[hits[r].index]);
+    votes[c] += 1;
+    rank_weight[c] += 1.0 / static_cast<double>(r + 1);
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < core::kClassCount; ++c) {
+    if (votes[c] > votes[best] ||
+        (votes[c] == votes[best] && rank_weight[c] > rank_weight[best]))
+      best = c;
+  }
+  return Vote{core::class_from_index(best),
+              static_cast<double>(votes[best]) /
+                  static_cast<double>(hits.size())};
+}
+
+std::vector<BlockedKnnIndex::Hit> reference_top_k(
+    const linalg::Matrix& points, std::span<const double> q, std::size_t k,
+    DistanceMetric metric) {
+  const std::size_t n = points.rows();
+  k = std::min(k, n);
+  std::vector<std::pair<double, std::size_t>> dist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dist[i] = {metric == DistanceMetric::kManhattan
+                   ? linalg::manhattan_distance(points.row(i), q)
+                   : linalg::squared_distance(points.row(i), q),
+               i};
+  }
+  std::partial_sort(dist.begin(),
+                    dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+  std::vector<BlockedKnnIndex::Hit> out(k);
+  for (std::size_t i = 0; i < k; ++i)
+    out[i] = {dist[i].first, static_cast<std::uint32_t>(dist[i].second)};
+  return out;
+}
+
+}  // namespace appclass::engine

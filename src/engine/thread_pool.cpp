@@ -1,0 +1,216 @@
+#include "engine/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/assert.hpp"
+#include "obs/metrics.hpp"
+
+namespace appclass::engine {
+namespace {
+
+struct PoolMetrics {
+  obs::Gauge& queue_depth =
+      obs::MetricsRegistry::global().gauge("appclass_engine_queue_depth");
+  obs::Counter& tasks = obs::MetricsRegistry::global().counter(
+      "appclass_engine_tasks_total");
+  obs::Counter& steals = obs::MetricsRegistry::global().counter(
+      "appclass_engine_steals_total");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+/// One parallel_for invocation. Task indices are dealt round-robin across
+/// the deques at submission; dequeuing is own-front-first, steal-from-
+/// busiest-back second. The deque a task ends up running on is
+/// scheduling-dependent — callers rely only on every-index-runs-once.
+struct ThreadPool::Job {
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;  // guarded by mutex
+    /// Mirror of tasks.size(), maintained under mutex, readable without
+    /// it — the steal scan probes sizes lock-free and TSan-clean.
+    std::atomic<std::size_t> approx_size{0};
+  };
+
+  explicit Job(std::size_t deque_count) : deques(deque_count) {}
+
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::vector<Deque> deques;
+  std::atomic<std::size_t> unclaimed{0};  // fast "any task left?" probe
+  std::atomic<std::size_t> completed{0};
+  std::mutex done_mutex;
+  std::condition_variable done;
+  std::exception_ptr first_exception;  // guarded by done_mutex
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::run_one(Job& job, std::size_t deque_hint) {
+  if (job.unclaimed.load(std::memory_order_acquire) == 0) return false;
+
+  std::size_t task = 0;
+  bool claimed = false;
+  bool stolen = false;
+
+  {  // Own deque first (front: submission order).
+    Job::Deque& own = job.deques[deque_hint];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = own.tasks.front();
+      own.tasks.pop_front();
+      own.approx_size.store(own.tasks.size(), std::memory_order_relaxed);
+      claimed = true;
+    }
+  }
+
+  while (!claimed) {
+    // Steal from the sibling with the most queued tasks (size probes are
+    // racy; the victim is re-checked under its lock).
+    std::size_t victim = job.deques.size();
+    std::size_t victim_size = 0;
+    for (std::size_t d = 0; d < job.deques.size(); ++d) {
+      if (d == deque_hint) continue;
+      const std::size_t s =
+          job.deques[d].approx_size.load(std::memory_order_relaxed);
+      if (s > victim_size) {
+        victim = d;
+        victim_size = s;
+      }
+    }
+    if (victim == job.deques.size()) return false;  // nothing visible
+    Job::Deque& target = job.deques[victim];
+    std::lock_guard<std::mutex> lock(target.mutex);
+    if (target.tasks.empty()) {
+      if (job.unclaimed.load(std::memory_order_acquire) == 0) return false;
+      continue;  // lost the race; re-scan
+    }
+    task = target.tasks.back();
+    target.tasks.pop_back();
+    target.approx_size.store(target.tasks.size(), std::memory_order_relaxed);
+    claimed = true;
+    stolen = true;
+  }
+
+  job.unclaimed.fetch_sub(1, std::memory_order_acq_rel);
+  PoolMetrics& pm = pool_metrics();
+  pm.queue_depth.add(-1.0);
+  if (stolen) pm.steals.inc();
+
+  try {
+    (*job.fn)(task);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(job.done_mutex);
+    if (!job.first_exception) job.first_exception = std::current_exception();
+  }
+
+  if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      job.count) {
+    std::lock_guard<std::mutex> lock(job.done_mutex);
+    job.done.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    std::shared_ptr<Job> job;
+    for (const auto& candidate : jobs_) {
+      if (candidate->unclaimed.load(std::memory_order_acquire) > 0) {
+        job = candidate;
+        break;
+      }
+    }
+    if (job) {
+      lock.unlock();
+      while (run_one(*job, worker_index)) {
+      }
+      lock.lock();
+      continue;
+    }
+    if (stop_) return;
+    work_ready_.wait(lock);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  PoolMetrics& pm = pool_metrics();
+  pm.tasks.inc(count);
+  if (count == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // The caller gets the extra deque past the workers' and drains it first.
+  const std::size_t caller_deque = workers_.size();
+  auto job = std::make_shared<Job>(workers_.size() + 1);
+  job->fn = &fn;
+  job->count = count;
+  for (std::size_t i = 0; i < count; ++i)
+    job->deques[i % job->deques.size()].tasks.push_back(i);
+  for (auto& deque : job->deques)
+    deque.approx_size.store(deque.tasks.size(), std::memory_order_relaxed);
+  job->unclaimed.store(count, std::memory_order_release);
+  pm.queue_depth.add(static_cast<double>(count));
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(job);
+  }
+  work_ready_.notify_all();
+
+  // Cooperative drain: the caller works its own job, so nested
+  // parallel_for calls always make progress.
+  while (run_one(*job, caller_deque)) {
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->count;
+    });
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      if (jobs_[j] == job) {
+        jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(j));
+        break;
+      }
+    }
+  }
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(job->done_mutex);
+    error = job->first_exception;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace appclass::engine

@@ -1,0 +1,71 @@
+// Fixed-size worker pool with per-worker work-stealing queues.
+//
+// The engine's unit of work is a *pool-sized task*: a shard of a few
+// hundred snapshots, one training pool, or one node's buffered stream —
+// coarse enough that a mutex per deque is noise, fine enough that an
+// uneven fleet (one 8000-snapshot pool among fifty small ones) still
+// balances. Tasks are distributed round-robin across the worker deques at
+// submission; a worker drained of its own deque steals from the busiest
+// sibling's tail.
+//
+// `parallel_for` is the only entry point and it is *cooperative*: the
+// calling thread claims and runs tasks of its own job alongside the
+// workers, so nested parallel_for calls (a pooled pipeline inside a
+// pooled fleet) cannot deadlock — every caller makes progress on its own
+// job even when all workers are busy elsewhere.
+//
+// Observability: `appclass_engine_queue_depth` gauge (tasks submitted but
+// not yet started), `appclass_engine_tasks_total` and
+// `appclass_engine_steals_total` counters.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace appclass::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1). `threads == 0` means one
+  /// worker per hardware core.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding cooperative callers).
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs `fn(0) .. fn(count - 1)` across the workers and the calling
+  /// thread; returns when every task has finished. Task *results* must be
+  /// written to disjoint, caller-owned slots — the pool guarantees each
+  /// index runs exactly once and everything written by the tasks
+  /// happens-before the return, nothing about ordering. The first
+  /// exception thrown by a task is rethrown here after the job drains.
+  /// Safe to call from multiple threads and from inside a task.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job;
+
+  void worker_loop(std::size_t worker_index);
+  /// Pops one task of `job` (own deque first, then steal); returns false
+  /// when the job has no unstarted tasks left.
+  bool run_one(Job& job, std::size_t deque_hint);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;                    // guards jobs_ and stop_
+  std::condition_variable work_ready_;  // workers wait here for jobs
+  std::vector<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+};
+
+}  // namespace appclass::engine

@@ -60,7 +60,7 @@ TEST(Confidence, PipelineReportsPerSnapshotConfidence) {
     EXPECT_LE(c, 1.0);
   }
   // Clean synthetic clusters: nearly every snapshot unanimous.
-  EXPECT_GT(result.mean_confidence, 0.9);
+  EXPECT_GT(result.mean_confidence(), 0.9);
 }
 
 TEST(Confidence, AmbiguousPoolScoresLowerThanCleanPool) {
@@ -79,8 +79,8 @@ TEST(Confidence, AmbiguousPoolScoresLowerThanCleanPool) {
       a.values[m] = 0.5 * (a.values[m] + b.values[m]);
     murky.add(a);
   }
-  EXPECT_GT(pipeline.classify(clean).mean_confidence,
-            pipeline.classify(murky).mean_confidence);
+  EXPECT_GT(pipeline.classify(clean).mean_confidence(),
+            pipeline.classify(murky).mean_confidence());
 }
 
 }  // namespace

@@ -40,7 +40,7 @@ TEST(Novelty, DisabledByDefault) {
   const auto result =
       pipeline.classify(testing::synthetic_pool(ApplicationClass::kIo, 10, 1));
   EXPECT_TRUE(result.novelty.empty());
-  EXPECT_DOUBLE_EQ(result.novel_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(result.novel_fraction(), 0.0);
 }
 
 TEST(Novelty, KnownBehavioursScoreLow) {
@@ -48,7 +48,7 @@ TEST(Novelty, KnownBehavioursScoreLow) {
   for (std::size_t c = 0; c < kClassCount; ++c) {
     const auto result = pipeline.classify(
         testing::synthetic_pool(class_from_index(c), 25, 50 + c));
-    EXPECT_LT(result.novel_fraction, 0.1)
+    EXPECT_LT(result.novel_fraction(), 0.1)
         << to_string(class_from_index(c));
   }
 }
@@ -56,7 +56,7 @@ TEST(Novelty, KnownBehavioursScoreLow) {
 TEST(Novelty, AlienBehaviourFlagsMostSnapshots) {
   const auto pipeline = novelty_pipeline(3.0);
   const auto result = pipeline.classify(alien_pool(30, 2));
-  EXPECT_GT(result.novel_fraction, 0.9);
+  EXPECT_GT(result.novel_fraction(), 0.9);
   ASSERT_EQ(result.novelty.size(), 30u);
   for (const double d : result.novelty) EXPECT_GT(d, 0.0);
 }
@@ -65,9 +65,9 @@ TEST(Novelty, ThresholdControlsSensitivity) {
   const auto strict = novelty_pipeline(0.5);
   const auto lax = novelty_pipeline(1.0e6);
   const auto pool = alien_pool(20, 3);
-  EXPECT_GT(strict.classify(pool).novel_fraction,
-            lax.classify(pool).novel_fraction);
-  EXPECT_DOUBLE_EQ(lax.classify(pool).novel_fraction, 0.0);
+  EXPECT_GT(strict.classify(pool).novel_fraction(),
+            lax.classify(pool).novel_fraction());
+  EXPECT_DOUBLE_EQ(lax.classify(pool).novel_fraction(), 0.0);
 }
 
 TEST(Novelty, NearestDistanceIsZeroOnTrainingPoints) {

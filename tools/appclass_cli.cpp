@@ -34,6 +34,10 @@
 //   --stats[=json|prom]
 //       After the command, print the metrics-registry snapshot (stage
 //       timing histograms, counters) as a table, JSON, or Prometheus text.
+//   --threads=<N>
+//       Engine execution width for train/classify/chaos: 1 = serial
+//       (default), N = a pool of N worker threads, 0 = one per hardware
+//       core. Results are bit-identical for every value.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +64,9 @@ namespace {
 
 using namespace appclass;
 
+/// Engine execution width from --threads (1 = serial).
+std::size_t g_threads = 1;
+
 int usage() {
   std::fprintf(stderr,
                "usage: appclass_cli [--log-level=<lvl>] [--stats[=json|prom]]"
@@ -78,7 +85,9 @@ int usage() {
                "  --log-level=<trace|debug|info|warn|error|off>  stderr "
                "logging (default off)\n"
                "  --stats[=json|prom]  print the metrics registry snapshot "
-               "after the command\n");
+               "after the command\n"
+               "  --threads=<N>  engine threads (1 = serial, 0 = hw cores); "
+               "results are identical for every value\n");
   return 2;
 }
 
@@ -127,7 +136,10 @@ void write_file(const std::string& path, const std::string& content) {
 
 int cmd_train(const std::string& model_path) {
   std::printf("training on the five canonical simulated runs...\n");
-  const core::ClassificationPipeline pipeline = core::make_trained_pipeline();
+  core::PipelineOptions options;
+  options.parallelism = g_threads;
+  const core::ClassificationPipeline pipeline =
+      core::make_trained_pipeline(options);
   core::save_pipeline_file(pipeline, model_path);
   std::printf("model saved to %s (%zu training snapshots, q=%zu, k=%zu)\n",
               model_path.c_str(), pipeline.knn().training_size(),
@@ -164,8 +176,8 @@ int cmd_profile(const std::string& app, const std::string& pool_path,
 
 int cmd_classify(const std::string& model_path,
                  const std::string& pool_path) {
-  const core::ClassificationPipeline pipeline =
-      core::load_pipeline_file(model_path);
+  core::ClassificationPipeline pipeline = core::load_pipeline_file(model_path);
+  pipeline.set_parallelism(g_threads);
   const metrics::DataPool pool = metrics::from_csv(read_file(pool_path));
   if (pool.empty()) {
     std::fprintf(stderr, "pool %s holds no snapshots\n", pool_path.c_str());
@@ -179,6 +191,10 @@ int cmd_classify(const std::string& model_path,
   std::printf("class:       %s\n",
               std::string(core::to_string(result.application_class)).c_str());
   std::printf("composition: %s\n", result.composition.to_string().c_str());
+  // Canonical reductions from the result itself — not refolded here.
+  std::printf("confidence:  %.3f\n", result.mean_confidence());
+  if (result.novelty_threshold > 0.0)
+    std::printf("novel:       %.1f%%\n", 100.0 * result.novel_fraction());
   return 0;
 }
 
@@ -308,7 +324,10 @@ int cmd_chaos(const std::string& out_path,
   }
 
   std::printf("training on the five canonical simulated runs...\n");
-  const core::ClassificationPipeline pipeline = core::make_trained_pipeline();
+  core::PipelineOptions pipeline_options;
+  pipeline_options.parallelism = g_threads;
+  const core::ClassificationPipeline pipeline =
+      core::make_trained_pipeline(pipeline_options);
   std::printf("recording the five canonical workload streams...\n");
   const auto runs = core::record_canonical_runs(options);
   std::printf("sweeping %zu fault kinds x %zu rates (sanitizer %s)...\n",
@@ -407,6 +426,14 @@ int main(int argc, char** argv) {
                    "unknown stats format '%s' (expected table, json, prom)\n",
                    arg.substr(std::strlen("--stats=")).c_str());
       return 2;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const auto threads = parse_int(arg.substr(std::strlen("--threads=")));
+      if (!threads || *threads < 0) {
+        std::fprintf(stderr, "bad --threads '%s' (expected 0, 1, 2, ...)\n",
+                     arg.substr(std::strlen("--threads=")).c_str());
+        return 2;
+      }
+      g_threads = static_cast<std::size_t>(*threads);
     } else {
       args.push_back(arg);
     }
