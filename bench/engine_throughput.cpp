@@ -22,6 +22,7 @@
 #include "core/trainer.hpp"
 #include "engine/knn_kernel.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -157,6 +158,23 @@ int main(int argc, char** argv) {
         APPCLASS_ENSURES(result.novelty == serial_result.novelty);
       }
     }
+
+    // --- Tracing overhead guard: same serial classification with span
+    // recording on. The ratio lands in the JSON so CI can flag a
+    // regression in the "tracing disabled costs nothing" invariant —
+    // and the traced run must stay bit-identical.
+    pipeline.set_parallelism(1);
+    appclass::obs::set_tracing_enabled(true);
+    pipeline.classify(big);  // warm-up with tracing active
+    Row traced{"pipeline_traced", 1, big.size(), 0.0};
+    core::ClassificationResult traced_result;
+    traced.seconds =
+        time_run([&] { traced_result = pipeline.classify(big); });
+    appclass::obs::set_tracing_enabled(false);
+    rows.push_back(traced);
+    APPCLASS_ENSURES(traced_result.class_vector == serial_result.class_vector);
+    APPCLASS_ENSURES(traced_result.confidences == serial_result.confidences);
+    APPCLASS_ENSURES(traced_result.novelty == serial_result.novelty);
   }
 
   std::printf("%-14s %8s %10s %10s %14s\n", "mode", "threads", "snapshots",
@@ -170,6 +188,19 @@ int main(int argc, char** argv) {
   std::printf("\nblocked kernel speedup over scalar: %.2fx\n",
               blocked_ps / scalar_ps);
 
+  // Traced serial run vs untraced serial run (>1.0 = tracing costs time).
+  double serial_seconds = 0.0;
+  double traced_seconds = 0.0;
+  for (const auto& row : rows) {
+    if (row.mode == "pipeline" && row.threads == 1)
+      serial_seconds = row.seconds;
+    if (row.mode == "pipeline_traced") traced_seconds = row.seconds;
+  }
+  const double tracing_overhead =
+      serial_seconds > 0.0 ? traced_seconds / serial_seconds : 0.0;
+  std::printf("tracing overhead (traced/untraced serial): %.3fx\n",
+              tracing_overhead);
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -178,6 +209,7 @@ int main(int argc, char** argv) {
   std::fprintf(out, "{\n  \"bench\": \"engine_throughput\",\n");
   std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(out, "  \"kernel_speedup\": %.3f,\n", blocked_ps / scalar_ps);
+  std::fprintf(out, "  \"tracing_overhead\": %.3f,\n", tracing_overhead);
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& row = rows[i];

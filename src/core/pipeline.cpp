@@ -4,6 +4,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace appclass::core {
 namespace {
@@ -67,41 +68,61 @@ void ClassificationPipeline::train(const std::vector<LabeledPool>& training) {
   APPCLASS_EXPECTS(!training.empty());
   PipelineMetrics& pm = pipeline_metrics();
 
+  obs::TraceSpan root_span("train");
+  root_span.add_attr({"pools", training.size()});
+  root_span.add_attr({"parallelism", context_->parallelism()});
+
   // Extract the raw selected metrics of every training pool — one task
   // per pool on the context — then stack them serially in pool order, so
   // the training matrix is independent of the thread count.
-  obs::ScopedTimer preprocess_timer(pm.preprocess);
-  std::vector<linalg::Matrix> raws(training.size());
-  context_->for_each(training.size(), [&](std::size_t p) {
-    APPCLASS_EXPECTS(!training[p].pool.empty());
-    raws[p] = preprocessor_.extract(training[p].pool);
-  });
-  linalg::Matrix stacked;
+  linalg::Matrix normalized;
   std::vector<ApplicationClass> labels;
-  for (std::size_t p = 0; p < training.size(); ++p) {
-    for (std::size_t r = 0; r < raws[p].rows(); ++r) {
-      stacked.append_row(raws[p].row(r));
-      labels.push_back(training[p].label);
+  {
+    obs::TraceSpan stage_span("preprocess", &pm.preprocess);
+    obs::ScopedTimer preprocess_timer(pm.preprocess);
+    std::vector<linalg::Matrix> raws(training.size());
+    context_->for_each(training.size(), [&](std::size_t p) {
+      APPCLASS_EXPECTS(!training[p].pool.empty());
+      raws[p] = preprocessor_.extract(training[p].pool);
+    });
+    linalg::Matrix stacked;
+    for (std::size_t p = 0; p < training.size(); ++p) {
+      for (std::size_t r = 0; r < raws[p].rows(); ++r) {
+        stacked.append_row(raws[p].row(r));
+        labels.push_back(training[p].label);
+      }
     }
+
+    preprocessor_.fit(stacked);
+    normalized = preprocessor_.transform(stacked);
+    preprocess_timer.stop();
   }
 
-  preprocessor_.fit(stacked);
-  const linalg::Matrix normalized = preprocessor_.transform(stacked);
-  preprocess_timer.stop();
+  {
+    obs::TraceSpan stage_span("pca_fit", &pm.pca_fit);
+    obs::ScopedTimer fit_timer(pm.pca_fit);
+    pca_.fit(normalized);
+    fit_timer.stop();
+  }
 
-  obs::ScopedTimer fit_timer(pm.pca_fit);
-  pca_.fit(normalized);
-  fit_timer.stop();
-
-  obs::ScopedTimer project_timer(pm.pca_project);
   linalg::Matrix projected(normalized.rows(), pca_.components());
-  context_->for_shards(
-      normalized.rows(), engine::kDefaultGrain,
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        obs::ScopedTimer shard_timer(pm.shard);
-        pca_.transform_rows(normalized, begin, end, projected);
-      });
-  project_timer.stop();
+  {
+    obs::TraceSpan stage_span("pca_project", &pm.pca_project);
+    obs::ScopedTimer project_timer(pm.pca_project);
+    context_->for_shards(
+        normalized.rows(), engine::kDefaultGrain,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          obs::TraceSpan shard_span("engine_shard", &pm.shard);
+          if (shard_span.recording()) {
+            shard_span.add_attr({"stage", "pca_project"});
+            shard_span.add_attr({"begin", begin});
+            shard_span.add_attr({"end", end});
+          }
+          obs::ScopedTimer shard_timer(pm.shard);
+          pca_.transform_rows(normalized, begin, end, projected);
+        });
+    project_timer.stop();
+  }
 
   knn_.train(std::move(projected), std::move(labels));
   trained_ = true;
@@ -137,21 +158,46 @@ ClassificationResult ClassificationPipeline::classify(
   ClassificationResult result;
   result.novelty_threshold = options_.novelty_threshold;
 
-  obs::ScopedTimer preprocess_timer(pm.preprocess);
-  const linalg::Matrix normalized = preprocessor_.transform(pool);
-  preprocess_timer.stop();
+  // Root span of the trace: one classified pool. The stage spans below
+  // open as its children; the engine_shard spans inside the for_shards
+  // lambdas parent to the stage spans even when the pool steals the
+  // shard onto another worker (the ThreadPool adopts the submitter's
+  // context around every task).
+  obs::TraceSpan root_span("classify");
+  if (root_span.recording()) {
+    root_span.add_attr({"node_ip", pool.node_ip()});
+    root_span.add_attr({"snapshots", pool.size()});
+    root_span.add_attr({"parallelism", context_->parallelism()});
+  }
+
+  linalg::Matrix normalized;
+  {
+    obs::TraceSpan stage_span("preprocess", &pm.preprocess);
+    obs::ScopedTimer preprocess_timer(pm.preprocess);
+    normalized = preprocessor_.transform(pool);
+    preprocess_timer.stop();
+  }
 
   const std::size_t m = normalized.rows();
 
-  obs::ScopedTimer project_timer(pm.pca_project);
-  result.projected = linalg::Matrix(m, pca_.components());
-  context_->for_shards(m, engine::kDefaultGrain,
-                       [&](std::size_t begin, std::size_t end, std::size_t) {
-                         obs::ScopedTimer shard_timer(pm.shard);
-                         pca_.transform_rows(normalized, begin, end,
-                                             result.projected);
-                       });
-  project_timer.stop();
+  {
+    obs::TraceSpan stage_span("pca_project", &pm.pca_project);
+    obs::ScopedTimer project_timer(pm.pca_project);
+    result.projected = linalg::Matrix(m, pca_.components());
+    context_->for_shards(
+        m, engine::kDefaultGrain,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          obs::TraceSpan shard_span("engine_shard", &pm.shard);
+          if (shard_span.recording()) {
+            shard_span.add_attr({"stage", "pca_project"});
+            shard_span.add_attr({"begin", begin});
+            shard_span.add_attr({"end", end});
+          }
+          obs::ScopedTimer shard_timer(pm.shard);
+          pca_.transform_rows(normalized, begin, end, result.projected);
+        });
+    project_timer.stop();
+  }
 
   // Sharded k-NN: every shard answers its rows into pre-sized slots with
   // its own kernel scratch; one clock pair for the whole fan-out, the
@@ -160,24 +206,58 @@ ClassificationResult ClassificationPipeline::classify(
       .vote_shares = true,
       .neighbors = false,
       .novelty = options_.novelty_threshold > 0.0};
-  obs::ScopedTimer knn_timer(pm.knn_query);
   QueryResult queries = knn_.make_result(m, query_options);
-  context_->for_shards(m, engine::kDefaultGrain,
-                       [&](std::size_t begin, std::size_t end, std::size_t) {
-                         obs::ScopedTimer shard_timer(pm.shard);
-                         engine::BlockedKnnIndex::Scratch scratch;
-                         knn_.query_rows(result.projected, begin, end,
-                                         query_options, queries, scratch);
-                       });
-  knn_timer.stop_and_observe_per_item(m);
+  {
+    obs::TraceSpan stage_span("knn_query", &pm.knn_query);
+    if (stage_span.recording()) {
+      stage_span.add_attr({"k", knn_.k()});
+      stage_span.add_attr({"training_size", knn_.training_size()});
+    }
+    obs::ScopedTimer knn_timer(pm.knn_query);
+    context_->for_shards(
+        m, engine::kDefaultGrain,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          obs::TraceSpan shard_span("engine_shard", &pm.shard);
+          obs::ScopedTimer shard_timer(pm.shard);
+          engine::BlockedKnnIndex::Scratch scratch;
+          knn_.query_rows(result.projected, begin, end, query_options,
+                          queries, scratch);
+          shard_timer.stop();
+          if (shard_span.recording()) {
+            shard_span.add_attr({"stage", "knn_query"});
+            shard_span.add_attr({"begin", begin});
+            shard_span.add_attr({"end", end});
+            shard_span.add_attr({"pruned_tiles", scratch.pruned_tiles});
+          }
+        });
+    knn_timer.stop_and_observe_per_item(m);
+  }
 
-  obs::ScopedTimer vote_timer(pm.vote);
-  result.class_vector = std::move(queries.labels);
-  result.confidences = std::move(queries.vote_shares);
-  result.novelty = std::move(queries.novelty);
-  result.composition = ClassComposition(result.class_vector);
-  result.application_class = result.composition.dominant();
-  vote_timer.stop();
+  {
+    obs::TraceSpan stage_span("vote", &pm.vote);
+    obs::ScopedTimer vote_timer(pm.vote);
+    result.class_vector = std::move(queries.labels);
+    result.confidences = std::move(queries.vote_shares);
+    result.novelty = std::move(queries.novelty);
+    result.composition = ClassComposition(result.class_vector);
+    result.application_class = result.composition.dominant();
+    vote_timer.stop();
+    if (stage_span.recording()) {
+      // Margin of the winning class over the runner-up in the class
+      // composition — a 0-margin pool sat on a vote knife edge.
+      double top = 0.0;
+      double second = 0.0;
+      for (const double f : result.composition.fractions()) {
+        if (f > top) {
+          second = top;
+          top = f;
+        } else if (f > second) {
+          second = f;
+        }
+      }
+      stage_span.add_attr({"vote_margin", top - second});
+    }
+  }
 
   pm.pools.inc();
   pm.snapshots.inc(m);
@@ -192,9 +272,15 @@ ApplicationClass ClassificationPipeline::classify(
   APPCLASS_EXPECTS(trained_);
   // Online hot path: a single relaxed counter increment (a few ns) — the
   // stage wall-time histograms come from the batch path, keeping the
-  // per-snapshot latency unperturbed.
+  // per-snapshot latency unperturbed. The query goes straight to the
+  // blocked kernel with thread-local scratch — no per-query result
+  // allocation, same arithmetic as query().
   pipeline_metrics().snapshots.inc();
-  return knn_.classify(pca_.transform(preprocessor_.transform(snapshot)));
+  const std::vector<double> projected =
+      pca_.transform(preprocessor_.transform(snapshot));
+  thread_local engine::BlockedKnnIndex::Scratch scratch;
+  const engine::BlockedKnnIndex& index = knn_.index();
+  return index.vote(index.top_k(projected, scratch)).label;
 }
 
 linalg::Matrix ClassificationPipeline::project(

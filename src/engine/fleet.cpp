@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace appclass::engine {
 namespace {
@@ -29,6 +30,8 @@ std::vector<core::ClassificationResult> BatchClassifier::classify_pools(
     const std::vector<metrics::DataPool>& pools) const {
   APPCLASS_EXPECTS(pipeline_.trained());
   std::vector<core::ClassificationResult> results(pools.size());
+  obs::TraceSpan span("batch_classify");
+  span.add_attr({"pools", pools.size()});
   // One task per pool; classify() shards further on the same context
   // (nested parallel_for is cooperative, so this never deadlocks).
   pipeline_.context()->for_each(pools.size(), [&](std::size_t p) {
@@ -65,6 +68,9 @@ std::size_t FleetStream::drain() {
   if (batch.empty()) return 0;
   FleetMetrics& fm = fleet_metrics();
   fm.backlog.add(-static_cast<double>(batch.size()));
+
+  obs::TraceSpan span("fleet_drain");
+  span.add_attr({"snapshots", batch.size()});
 
   // Parallel classification (the pipeline's snapshot path is const and
   // uses thread-local kernel scratch), then strictly serial ingestion in

@@ -135,8 +135,10 @@ std::span<const BlockedKnnIndex::Hit> BlockedKnnIndex::top_k(
   for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
     const std::size_t width = std::min(kTile, n - t0);
     if (count == k &&
-        tile_lower_bound(t0 / kTile, qnorm) > hits[k - 1].distance)
+        tile_lower_bound(t0 / kTile, qnorm) > hits[k - 1].distance) {
+      ++scratch.pruned_tiles;
       continue;
+    }
     tile_distances(q, t0, width, scratch.acc);
     for (std::size_t i = 0; i < width; ++i) {
       const double d = scratch.acc[i];
@@ -167,7 +169,10 @@ double BlockedKnnIndex::nearest_distance(std::span<const double> q,
   const double qnorm = query_norm(q);
   for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
     const std::size_t width = std::min(kTile, n - t0);
-    if (tile_lower_bound(t0 / kTile, qnorm) > best) continue;
+    if (tile_lower_bound(t0 / kTile, qnorm) > best) {
+      ++scratch.pruned_tiles;
+      continue;
+    }
     tile_distances(q, t0, width, scratch.acc);
     for (std::size_t i = 0; i < width; ++i)
       best = std::min(best, scratch.acc[i]);

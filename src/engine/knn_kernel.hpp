@@ -61,6 +61,10 @@ class BlockedKnnIndex {
   struct Scratch {
     std::vector<double> acc;
     std::vector<Hit> hits;
+    /// Tiles skipped by the norm-bound prune since construction (or the
+    /// caller's last reset); accumulates across queries so shard spans
+    /// can report prune effectiveness.
+    std::uint64_t pruned_tiles = 0;
   };
 
   BlockedKnnIndex() = default;

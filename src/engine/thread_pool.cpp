@@ -1,21 +1,30 @@
 #include "engine/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <optional>
 
 #include "common/assert.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace appclass::engine {
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 struct PoolMetrics {
   obs::Gauge& queue_depth =
       obs::MetricsRegistry::global().gauge("appclass_engine_queue_depth");
   obs::Counter& tasks = obs::MetricsRegistry::global().counter(
       "appclass_engine_tasks_total");
+  obs::Counter& jobs = obs::MetricsRegistry::global().counter(
+      "appclass_engine_jobs_total");
   obs::Counter& steals = obs::MetricsRegistry::global().counter(
       "appclass_engine_steals_total");
+  obs::Histogram& job_wait = obs::MetricsRegistry::global().histogram(
+      "appclass_engine_job_wait_seconds");
 };
 
 PoolMetrics& pool_metrics() {
@@ -42,6 +51,10 @@ struct ThreadPool::Job {
 
   const std::function<void(std::size_t)>* fn = nullptr;
   std::size_t count = 0;
+  /// Ambient trace context captured at submission; tasks adopt it so
+  /// spans opened inside them parent across the thread hop.
+  obs::TraceContext trace_ctx;
+  Clock::time_point submitted{};
   std::vector<Deque> deques;
   std::atomic<std::size_t> unclaimed{0};  // fast "any task left?" probe
   std::atomic<std::size_t> completed{0};
@@ -53,6 +66,12 @@ struct ThreadPool::Job {
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
+  depth_gauges_.reserve(threads + 1);
+  for (std::size_t w = 0; w <= threads; ++w) {
+    const std::string label = w < threads ? std::to_string(w) : "caller";
+    depth_gauges_.push_back(&obs::MetricsRegistry::global().gauge(
+        "appclass_engine_worker_queue_depth", {{"worker", label}}));
+  }
   workers_.reserve(threads);
   for (std::size_t w = 0; w < threads; ++w)
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -81,6 +100,7 @@ bool ThreadPool::run_one(Job& job, std::size_t deque_hint) {
       task = own.tasks.front();
       own.tasks.pop_front();
       own.approx_size.store(own.tasks.size(), std::memory_order_relaxed);
+      depth_gauges_[deque_hint]->set(static_cast<double>(own.tasks.size()));
       claimed = true;
     }
   }
@@ -109,6 +129,7 @@ bool ThreadPool::run_one(Job& job, std::size_t deque_hint) {
     task = target.tasks.back();
     target.tasks.pop_back();
     target.approx_size.store(target.tasks.size(), std::memory_order_relaxed);
+    depth_gauges_[victim]->set(static_cast<double>(target.tasks.size()));
     claimed = true;
     stolen = true;
   }
@@ -117,6 +138,13 @@ bool ThreadPool::run_one(Job& job, std::size_t deque_hint) {
   PoolMetrics& pm = pool_metrics();
   pm.queue_depth.add(-1.0);
   if (stolen) pm.steals.inc();
+  pm.job_wait.observe(
+      std::chrono::duration<double>(Clock::now() - job.submitted).count());
+
+  // Run the task under the submitter's trace context so any spans it
+  // opens parent to the submitting span, even across a steal.
+  std::optional<obs::ScopedTraceContext> adopted;
+  if (job.trace_ctx.active()) adopted.emplace(job.trace_ctx);
 
   try {
     (*job.fn)(task);
@@ -159,8 +187,11 @@ void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   PoolMetrics& pm = pool_metrics();
+  pm.jobs.inc();
   pm.tasks.inc(count);
   if (count == 1 || workers_.empty()) {
+    // Inline execution: same thread, so the ambient trace context is
+    // already in place and there is no queue wait to measure.
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -170,10 +201,15 @@ void ThreadPool::parallel_for(std::size_t count,
   auto job = std::make_shared<Job>(workers_.size() + 1);
   job->fn = &fn;
   job->count = count;
+  job->trace_ctx = obs::current_trace_context();
+  job->submitted = Clock::now();
   for (std::size_t i = 0; i < count; ++i)
     job->deques[i % job->deques.size()].tasks.push_back(i);
-  for (auto& deque : job->deques)
-    deque.approx_size.store(deque.tasks.size(), std::memory_order_relaxed);
+  for (std::size_t d = 0; d < job->deques.size(); ++d) {
+    job->deques[d].approx_size.store(job->deques[d].tasks.size(),
+                                     std::memory_order_relaxed);
+    depth_gauges_[d]->set(static_cast<double>(job->deques[d].tasks.size()));
+  }
   job->unclaimed.store(count, std::memory_order_release);
   pm.queue_depth.add(static_cast<double>(count));
 

@@ -15,8 +15,17 @@
 // job even when all workers are busy elsewhere.
 //
 // Observability: `appclass_engine_queue_depth` gauge (tasks submitted but
-// not yet started), `appclass_engine_tasks_total` and
-// `appclass_engine_steals_total` counters.
+// not yet started), `appclass_engine_tasks_total`,
+// `appclass_engine_jobs_total`, and `appclass_engine_steals_total`
+// counters, `appclass_engine_job_wait_seconds` (submission-to-start
+// latency per task), and `appclass_engine_worker_queue_depth{worker=}`
+// gauges (per-deque backlog; shared across pool instances, last-write
+// wins — a monitoring view, not an invariant).
+//
+// Trace propagation: parallel_for captures the caller's ambient
+// obs::TraceContext into the job; every claimed task adopts it before
+// running, so spans opened inside tasks — even stolen ones on other
+// workers — parent to the submitting span.
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +36,10 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+namespace appclass::obs {
+class Gauge;
+}
 
 namespace appclass::engine {
 
@@ -66,6 +79,9 @@ class ThreadPool {
   std::condition_variable work_ready_;  // workers wait here for jobs
   std::vector<std::shared_ptr<Job>> jobs_;
   bool stop_ = false;
+  /// Per-deque backlog gauges, indexed like Job::deques (workers then
+  /// caller); cached registry references, set under the deque mutexes.
+  std::vector<obs::Gauge*> depth_gauges_;
 };
 
 }  // namespace appclass::engine

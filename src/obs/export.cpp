@@ -247,7 +247,20 @@ std::string to_json(const RegistrySnapshot& snapshot) {
       out.append(std::to_string(h.bucket_counts[i]));
       out.push_back('}');
     }
-    out.append("]}");
+    out.push_back(']');
+    if (h.exemplar_trace_id != 0) {
+      // Exemplars live in the JSON view only; the Prometheus text
+      // exposition stays plain 0.0.4 so conformance parsers keep working.
+      char hex[24];
+      std::snprintf(hex, sizeof hex, "%llx",
+                    static_cast<unsigned long long>(h.exemplar_trace_id));
+      out.append(",\"exemplar\":{\"trace_id\":\"");
+      out.append(hex);
+      out.append("\",\"value\":");
+      out.append(format_double(h.exemplar_value));
+      out.push_back('}');
+    }
+    out.push_back('}');
   }
   out.append("]}");
   return out;

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
 namespace appclass::obs {
 namespace {
 
@@ -135,6 +138,13 @@ void Logger::emit(LogLevel level, std::string_view event,
     line.push_back('=');
     append_value(line, f.value);
   }
+
+  // Mirror the record into the flight recorder (as a Chrome instant
+  // event, tagged with the ambient trace context) before taking the sink
+  // lock, so recorder dumps interleave log lines with spans.
+  if (tracing_enabled())
+    TraceRecorder::global().record_instant(
+        event, current_trace_context(), {SpanAttr("log", line)});
 
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {

@@ -30,6 +30,8 @@ void Histogram::reset() noexcept {
     buckets_[i].store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  exemplar_value_.store(0.0, std::memory_order_relaxed);
+  exemplar_trace_.store(0, std::memory_order_relaxed);
 }
 
 const std::vector<double>& default_time_buckets() {
@@ -154,6 +156,8 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
           hs.bucket_counts.push_back(h.bucket_count(i));
         hs.count = h.count();
         hs.sum = h.sum();
+        hs.exemplar_value = h.exemplar_value();
+        hs.exemplar_trace_id = h.exemplar_trace_id();
         out.histograms.push_back(std::move(hs));
         break;
       }

@@ -83,11 +83,30 @@ class Histogram {
   }
   void reset() noexcept;
 
+  /// Last exemplar: the most recent observation made under an active
+  /// trace, referencing its trace id (obs/trace.hpp writes these on span
+  /// end). The two fields are independent relaxed atomics — a torn
+  /// (value, id) pair across concurrent traced observations is possible
+  /// and acceptable for a monitoring view.
+  void set_exemplar(double value, std::uint64_t trace_id) noexcept {
+    exemplar_value_.store(value, std::memory_order_relaxed);
+    exemplar_trace_.store(trace_id, std::memory_order_relaxed);
+  }
+  double exemplar_value() const noexcept {
+    return exemplar_value_.load(std::memory_order_relaxed);
+  }
+  /// 0 = no exemplar recorded yet.
+  std::uint64_t exemplar_trace_id() const noexcept {
+    return exemplar_trace_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> exemplar_value_{0.0};
+  std::atomic<std::uint64_t> exemplar_trace_{0};
 };
 
 /// Log-spaced latency buckets from 1 µs to 10 s — the default for stage
@@ -113,6 +132,9 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> bucket_counts;  // bounds.size() + 1 entries
   std::uint64_t count = 0;
   double sum = 0.0;
+  /// Last traced observation (exemplar); trace id 0 = none recorded.
+  double exemplar_value = 0.0;
+  std::uint64_t exemplar_trace_id = 0;
 
   double mean() const noexcept {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);

@@ -1,0 +1,218 @@
+#include "obs/scrape.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/export.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace appclass::obs {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+/// Reads until the end of the HTTP header block (CRLFCRLF), a timeout,
+/// peer close, or the size cap. Bodies are ignored — every route is GET.
+std::string read_request(int fd) {
+  std::string request;
+  char buffer[1024];
+  while (request.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return request;
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, std::string_view status,
+                   std::string_view content_type, std::string_view body) {
+  std::string head;
+  head.reserve(160);
+  head.append("HTTP/1.1 ");
+  head.append(status);
+  head.append("\r\nContent-Type: ");
+  head.append(content_type);
+  head.append("\r\nContent-Length: ");
+  head.append(std::to_string(body.size()));
+  head.append("\r\nConnection: close\r\n\r\n");
+  send_all(fd, head);
+  send_all(fd, body);
+}
+
+struct RequestLine {
+  std::string method;
+  std::string path;
+};
+
+RequestLine parse_request_line(std::string_view request) {
+  RequestLine out;
+  const std::size_t eol = request.find("\r\n");
+  std::string_view line =
+      eol == std::string_view::npos ? request : request.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return out;
+  out.method = std::string(line.substr(0, sp1));
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  std::string_view target = sp2 == std::string_view::npos
+                                ? line.substr(sp1 + 1)
+                                : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Drop any query string; the routes take no parameters.
+  const std::size_t q = target.find('?');
+  if (q != std::string_view::npos) target = target.substr(0, q);
+  out.path = std::string(target);
+  return out;
+}
+
+/// Bounded label value for appclass_scrape_requests_total: known routes
+/// keep their path, everything else collapses to "other" so arbitrary
+/// request targets cannot grow the registry.
+const char* path_label(const std::string& path) {
+  if (path == "/metrics") return "/metrics";
+  if (path == "/healthz") return "/healthz";
+  if (path == "/traces/recent") return "/traces/recent";
+  return "other";
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(ScrapeServerOptions options)
+    : options_(std::move(options)) {}
+
+ScrapeServer::~ScrapeServer() { stop(); }
+
+bool ScrapeServer::start() {
+  if (running()) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    APPCLASS_LOG_ERROR("scrape.socket_failed", {"errno", errno});
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    APPCLASS_LOG_ERROR("scrape.bad_address",
+                       {"address", options_.bind_address});
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    APPCLASS_LOG_ERROR("scrape.bind_failed", {"errno", errno},
+                       {"port", options_.port});
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &len) == 0)
+    port_ = ntohs(bound.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  APPCLASS_LOG_INFO("scrape.started", {"address", options_.bind_address},
+                    {"port", port_});
+  return true;
+}
+
+void ScrapeServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Unblock accept(): shutdown makes the blocked call return, close
+  // releases the port.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+  APPCLASS_LOG_INFO("scrape.stopped", {"port", port_});
+}
+
+void ScrapeServer::serve_loop() {
+  auto& registry = MetricsRegistry::global();
+  Counter& metrics_requests =
+      registry.counter("appclass_scrape_requests_total",
+                       {{"path", "/metrics"}});
+  Counter& healthz_requests =
+      registry.counter("appclass_scrape_requests_total",
+                       {{"path", "/healthz"}});
+  Counter& traces_requests =
+      registry.counter("appclass_scrape_requests_total",
+                       {{"path", "/traces/recent"}});
+  Counter& other_requests =
+      registry.counter("appclass_scrape_requests_total",
+                       {{"path", "other"}});
+
+  while (running()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running()) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+    const RequestLine request = parse_request_line(read_request(fd));
+    const std::string_view label = path_label(request.path);
+    Counter& route_counter =
+        label == "/metrics"
+            ? metrics_requests
+            : label == "/healthz"
+                  ? healthz_requests
+                  : label == "/traces/recent" ? traces_requests
+                                              : other_requests;
+    route_counter.inc();
+
+    if (request.method != "GET") {
+      send_response(fd, "405 Method Not Allowed", "text/plain",
+                    "method not allowed\n");
+    } else if (request.path == "/metrics") {
+      send_response(fd, "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    to_prometheus(registry.snapshot()));
+    } else if (request.path == "/healthz") {
+      send_response(fd, "200 OK", "text/plain", "ok\n");
+    } else if (request.path == "/traces/recent") {
+      send_response(fd, "200 OK", "application/json",
+                    TraceRecorder::global().to_chrome_json());
+    } else {
+      send_response(fd, "404 Not Found", "text/plain", "not found\n");
+    }
+    ::close(fd);
+  }
+}
+
+}  // namespace appclass::obs

@@ -1,0 +1,63 @@
+// Minimal blocking HTTP scrape endpoint for live observability:
+//
+//   GET /metrics        Prometheus text exposition 0.0.4 of the global
+//                       metrics registry
+//   GET /healthz        liveness probe ("ok")
+//   GET /traces/recent  flight-recorder contents as Chrome trace JSON
+//
+// One accept thread serves requests sequentially over plain POSIX
+// sockets — a deliberate non-framework design: scrapes are rare (every
+// few seconds), tiny, and read-only, so a single blocking loop with a
+// receive timeout is simpler and easier to audit than a connection pool.
+// The server never touches classification state; it only reads the
+// MetricsRegistry / TraceRecorder snapshots, both of which are safe to
+// read concurrently with recording.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace appclass::obs {
+
+struct ScrapeServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after start().
+  std::uint16_t port = 0;
+};
+
+class ScrapeServer {
+ public:
+  explicit ScrapeServer(ScrapeServerOptions options = {});
+  ~ScrapeServer();
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// Binds, listens, and launches the accept thread. False (with an
+  /// ERROR log) when the socket cannot be bound.
+  bool start();
+
+  /// Stops accepting, closes the listen socket, and joins the accept
+  /// thread. Idempotent; also run by the destructor.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// The bound port (resolves port 0 requests); 0 before start().
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void serve_loop();
+
+  ScrapeServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace appclass::obs

@@ -1,0 +1,84 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/recorder.hpp"
+
+namespace appclass::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+/// One id space for trace and span ids keeps both process-unique.
+std::atomic<std::uint64_t> g_next_id{1};
+
+thread_local TraceContext t_current;
+
+std::uint64_t next_id() noexcept {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void configure_tracing_from_env() {
+  const char* v = std::getenv("APPCLASS_TRACE");
+  if (!v) return;
+  set_tracing_enabled(!std::strcmp(v, "1") || !std::strcmp(v, "true") ||
+                      !std::strcmp(v, "on"));
+}
+
+TraceContext current_trace_context() noexcept { return t_current; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& adopted) noexcept
+    : saved_(t_current) {
+  t_current = adopted;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current = saved_; }
+
+SpanAttr::SpanAttr(std::string_view k, double v) : key(k) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", v);
+  value = buffer;
+}
+
+TraceSpan::TraceSpan(std::string_view name, Histogram* exemplar_histogram) {
+  if (!tracing_enabled()) return;
+  recording_ = true;
+  name_ = name;
+  exemplar_histogram_ = exemplar_histogram;
+  saved_ = t_current;
+  context_.trace_id = saved_.active() ? saved_.trace_id : next_id();
+  context_.parent_span_id = saved_.active() ? saved_.span_id : 0;
+  context_.span_id = next_id();
+  t_current = context_;
+  start_us_ = trace_now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!recording_) return;
+  const std::int64_t end_us = trace_now_us();
+  t_current = saved_;
+  if (exemplar_histogram_)
+    exemplar_histogram_->set_exemplar(
+        static_cast<double>(end_us - start_us_) * 1e-6, context_.trace_id);
+  TraceRecorder::global().record_span(name_, context_, start_us_,
+                                      end_us - start_us_,
+                                      std::move(attrs_));
+}
+
+void TraceSpan::add_attr(SpanAttr attr) {
+  if (recording_) attrs_.push_back(std::move(attr));
+}
+
+}  // namespace appclass::obs

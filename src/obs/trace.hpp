@@ -1,0 +1,117 @@
+// Dapper-style trace-context propagation for the classification stack.
+//
+// A *trace* is one causally-linked tree of spans — e.g. one classified
+// snapshot pool: a `classify` root with preprocess/pca_project/knn_query/
+// vote children, whose `engine_shard` grandchildren may have run on
+// stolen shards on other thread-pool workers. Context lives in a
+// thread-local (`current_trace_context`); cross-thread edges are made by
+// capturing the context at job submission and adopting it on the worker
+// (`ScopedTraceContext`), which the engine ThreadPool does for every
+// parallel_for task.
+//
+// Cost contract: tracing is off by default and every TraceSpan
+// constructor guards on one relaxed atomic load — the k-NN hot path pays
+// a predictable branch and nothing else. When tracing is on, finished
+// spans are recorded into the per-thread flight-recorder ring
+// (obs/recorder.hpp) and the bound histogram (if any) gains an exemplar
+// referencing the trace id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace appclass::obs {
+
+/// W3C-trace-context-shaped identity of one span. Ids are process-unique
+/// non-zero integers; trace_id == 0 means "no active trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  bool active() const noexcept { return trace_id != 0; }
+};
+
+/// Process-wide tracing switch (relaxed atomic; default off).
+bool tracing_enabled() noexcept;
+void set_tracing_enabled(bool on) noexcept;
+
+/// Reads APPCLASS_TRACE (1/true/on enables tracing).
+void configure_tracing_from_env();
+
+/// The calling thread's ambient context (inactive when no span is open
+/// and nothing was adopted).
+TraceContext current_trace_context() noexcept;
+
+/// RAII adoption of a context captured on another thread: installs
+/// `adopted` as this thread's ambient context so spans opened underneath
+/// parent to the submitting span, and restores the previous ambient
+/// context on destruction. The engine ThreadPool wraps every task in one.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& adopted) noexcept;
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// One structured span attribute; the value is formatted eagerly, but
+/// call sites only construct attrs after checking TraceSpan::recording()
+/// (or via add_attr, which drops them when not recording).
+struct SpanAttr {
+  std::string key;
+  std::string value;
+
+  SpanAttr(std::string_view k, std::string_view v) : key(k), value(v) {}
+  SpanAttr(std::string_view k, const char* v) : key(k), value(v) {}
+  SpanAttr(std::string_view k, const std::string& v) : key(k), value(v) {}
+  SpanAttr(std::string_view k, double v);
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  SpanAttr(std::string_view k, T v) : key(k), value(std::to_string(v)) {}
+};
+
+/// RAII span: opens as a child of the thread's ambient context (or as a
+/// new trace root when none is active), becomes the ambient context for
+/// its scope, and on destruction records itself into the flight recorder.
+/// A no-op (one relaxed load) when tracing is disabled.
+class TraceSpan {
+ public:
+  /// `exemplar_histogram`, when given, receives (elapsed seconds,
+  /// trace_id) as its exemplar on span end — tying the stage histogram
+  /// back to a concrete trace.
+  explicit TraceSpan(std::string_view name,
+                     Histogram* exemplar_histogram = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when this span will be recorded (tracing was enabled at
+  /// construction). Guard expensive attribute computation on it.
+  bool recording() const noexcept { return recording_; }
+
+  /// Attaches a structured attribute; dropped when not recording.
+  void add_attr(SpanAttr attr);
+
+  const TraceContext& context() const noexcept { return context_; }
+
+ private:
+  bool recording_ = false;
+  TraceContext context_;
+  TraceContext saved_;
+  std::string name_;
+  Histogram* exemplar_histogram_ = nullptr;
+  std::int64_t start_us_ = 0;
+  std::vector<SpanAttr> attrs_;
+};
+
+}  // namespace appclass::obs

@@ -36,9 +36,9 @@ TEST(Contracts, KnnTrainRequiresMatchingLabels) {
                "precondition");
 }
 
-TEST(Contracts, UntrainedKnnClassifyAborts) {
+TEST(Contracts, UntrainedKnnQueryAborts) {
   const core::KnnClassifier knn;
-  EXPECT_DEATH((void)knn.classify(std::vector<double>{0.0}), "precondition");
+  EXPECT_DEATH((void)knn.query(std::vector<double>{0.0}), "precondition");
 }
 
 TEST(Contracts, UnfittedPreprocessorTransformAborts) {

@@ -13,9 +13,10 @@ TEST(Confidence, UnanimousNeighbourhoodScoresOne) {
       ApplicationClass::kIo,  ApplicationClass::kIo,  ApplicationClass::kIo};
   KnnClassifier knn;
   knn.train(points, labels);
-  const auto deep = knn.classify_with_confidence(std::vector<double>{0, 0});
-  EXPECT_EQ(deep.label, ApplicationClass::kCpu);
-  EXPECT_DOUBLE_EQ(deep.confidence, 1.0);
+  const auto deep = knn.query(std::vector<double>{0, 0},
+                              QueryOptions{.vote_shares = true});
+  EXPECT_EQ(deep.labels[0], ApplicationClass::kCpu);
+  EXPECT_DOUBLE_EQ(deep.vote_shares[0], 1.0);
 }
 
 TEST(Confidence, BoundaryPointScoresLower) {
@@ -26,8 +27,9 @@ TEST(Confidence, BoundaryPointScoresLower) {
   KnnClassifier knn;
   knn.train(points, labels);
   // k=3 near the midpoint: 2 of one class, 1 of the other -> 2/3.
-  const auto mid = knn.classify_with_confidence(std::vector<double>{4.9, 0});
-  EXPECT_DOUBLE_EQ(mid.confidence, 2.0 / 3.0);
+  const auto mid = knn.query(std::vector<double>{4.9, 0},
+                             QueryOptions{.vote_shares = true});
+  EXPECT_DOUBLE_EQ(mid.vote_shares[0], 2.0 / 3.0);
 }
 
 TEST(Confidence, ConfidenceMatchesPlainClassify) {
@@ -45,7 +47,8 @@ TEST(Confidence, ConfidenceMatchesPlainClassify) {
   for (int t = 0; t < 40; ++t) {
     const std::vector<double> q = {rng.uniform(-5.0, 5.0),
                                    rng.uniform(-5.0, 5.0)};
-    EXPECT_EQ(knn.classify(q), knn.classify_with_confidence(q).label);
+    const auto result = knn.query(q, QueryOptions{.vote_shares = true});
+    EXPECT_EQ(result.labels[0], knn.query(q).labels[0]);
   }
 }
 

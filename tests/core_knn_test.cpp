@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "linalg/random.hpp"
 
 namespace appclass::core {
@@ -19,19 +22,25 @@ KnnClassifier two_cluster_classifier(std::size_t k = 3) {
   return knn;
 }
 
+/// Single-point label through the canonical query() entry point.
+ApplicationClass label_of(const KnnClassifier& knn,
+                          std::span<const double> point) {
+  return knn.query(point).labels[0];
+}
+
 TEST(Knn, ClassifiesClearPoints) {
   const auto knn = two_cluster_classifier();
-  EXPECT_EQ(knn.classify(std::vector<double>{0.05, 0.0}),
+  EXPECT_EQ(label_of(knn, std::vector<double>{0.05, 0.0}),
             ApplicationClass::kCpu);
-  EXPECT_EQ(knn.classify(std::vector<double>{9.5, 0.0}),
+  EXPECT_EQ(label_of(knn, std::vector<double>{9.5, 0.0}),
             ApplicationClass::kIo);
 }
 
 TEST(Knn, DecisionBoundaryNearMidpoint) {
   const auto knn = two_cluster_classifier();
-  EXPECT_EQ(knn.classify(std::vector<double>{4.0, 0.0}),
+  EXPECT_EQ(label_of(knn, std::vector<double>{4.0, 0.0}),
             ApplicationClass::kCpu);
-  EXPECT_EQ(knn.classify(std::vector<double>{6.0, 0.0}),
+  EXPECT_EQ(label_of(knn, std::vector<double>{6.0, 0.0}),
             ApplicationClass::kIo);
 }
 
@@ -45,26 +54,28 @@ TEST(Knn, KOneUsesSingleNearestNeighbor) {
       ApplicationClass::kIo, ApplicationClass::kIo};
   KnnClassifier k1(KnnOptions{.k = 1});
   k1.train(points, labels);
-  EXPECT_EQ(k1.classify(std::vector<double>{0.05, 0.01}),
+  EXPECT_EQ(label_of(k1, std::vector<double>{0.05, 0.01}),
             ApplicationClass::kIo);
   KnnClassifier k3(KnnOptions{.k = 3});
   k3.train(points, labels);
-  EXPECT_EQ(k3.classify(std::vector<double>{0.05, 0.01}),
+  EXPECT_EQ(label_of(k3, std::vector<double>{0.05, 0.01}),
             ApplicationClass::kCpu);
 }
 
 TEST(Knn, NearestReturnsSortedByDistance) {
   const auto knn = two_cluster_classifier();
-  const auto nn = knn.nearest(std::vector<double>{10.05, 0.0});
-  ASSERT_EQ(nn.size(), 3u);
+  const auto result = knn.query(std::vector<double>{10.05, 0.0},
+                                QueryOptions{.neighbors = true});
+  ASSERT_EQ(result.neighbors_per_query, 3u);
   // All three from the IO cluster (indices 3..5), nearest first.
-  for (std::size_t i : nn) EXPECT_GE(i, 3u);
+  for (std::size_t rank = 0; rank < 3; ++rank)
+    EXPECT_GE(result.neighbor(0, rank), 3u);
   const auto d = [&](std::size_t i) {
     return linalg::squared_distance(knn.training_points().row(i),
                                     std::vector<double>{10.05, 0.0});
   };
-  EXPECT_LE(d(nn[0]), d(nn[1]));
-  EXPECT_LE(d(nn[1]), d(nn[2]));
+  EXPECT_LE(d(result.neighbor(0, 0)), d(result.neighbor(0, 1)));
+  EXPECT_LE(d(result.neighbor(0, 1)), d(result.neighbor(0, 2)));
 }
 
 TEST(Knn, ThreeWayTieBreaksTowardNearest) {
@@ -75,9 +86,9 @@ TEST(Knn, ThreeWayTieBreaksTowardNearest) {
                                           ApplicationClass::kIo};
   KnnClassifier knn(KnnOptions{.k = 3});
   knn.train(points, labels);
-  EXPECT_EQ(knn.classify(std::vector<double>{1.1, 0.0}),
+  EXPECT_EQ(label_of(knn, std::vector<double>{1.1, 0.0}),
             ApplicationClass::kIdle);
-  EXPECT_EQ(knn.classify(std::vector<double>{2.9, 0.0}),
+  EXPECT_EQ(label_of(knn, std::vector<double>{2.9, 0.0}),
             ApplicationClass::kIo);
 }
 
@@ -93,19 +104,19 @@ TEST(Knn, ManhattanMetricChangesGeometry) {
   manhattan.train(points, labels);
   // Query at origin: L2 distances 2.0 vs 1.697 (io wins);
   // L1 distances 2.0 vs 2.4 (cpu wins).
-  EXPECT_EQ(euclid.classify(std::vector<double>{0.0, 0.0}),
+  EXPECT_EQ(label_of(euclid, std::vector<double>{0.0, 0.0}),
             ApplicationClass::kIo);
-  EXPECT_EQ(manhattan.classify(std::vector<double>{0.0, 0.0}),
+  EXPECT_EQ(label_of(manhattan, std::vector<double>{0.0, 0.0}),
             ApplicationClass::kCpu);
 }
 
-TEST(Knn, BatchClassifyMatchesPointwise) {
+TEST(Knn, BatchQueryMatchesPointwise) {
   const auto knn = two_cluster_classifier();
   linalg::Matrix queries{{0.0, 0.0}, {10.0, 0.1}, {5.1, 0.0}};
-  const auto batch = knn.classify(queries);
+  const auto batch = knn.query(queries).labels;
   ASSERT_EQ(batch.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i)
-    EXPECT_EQ(batch[i], knn.classify(queries.row(i)));
+    EXPECT_EQ(batch[i], label_of(knn, queries.row(i)));
 }
 
 TEST(Knn, TrainingAccessors) {
@@ -125,7 +136,7 @@ TEST(Knn, UntrainedReportsNotTrained) {
 TEST(Knn, PerfectRecallOnTrainingPoints) {
   const auto knn = two_cluster_classifier(1);
   for (std::size_t i = 0; i < knn.training_size(); ++i)
-    EXPECT_EQ(knn.classify(knn.training_points().row(i)),
+    EXPECT_EQ(label_of(knn, knn.training_points().row(i)),
               knn.training_labels()[i]);
 }
 
@@ -143,8 +154,8 @@ TEST(Knn, HighDimensionalSeparation) {
   knn.train(points, labels);
   std::vector<double> io_query(8, 0.0);
   for (std::size_t c = 4; c < 8; ++c) io_query[c] = 5.0;
-  EXPECT_EQ(knn.classify(io_query), ApplicationClass::kIo);
-  EXPECT_EQ(knn.classify(std::vector<double>(8, 0.0)),
+  EXPECT_EQ(label_of(knn, io_query), ApplicationClass::kIo);
+  EXPECT_EQ(label_of(knn, std::vector<double>(8, 0.0)),
             ApplicationClass::kCpu);
 }
 

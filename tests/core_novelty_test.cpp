@@ -73,14 +73,18 @@ TEST(Novelty, ThresholdControlsSensitivity) {
 TEST(Novelty, NearestDistanceIsZeroOnTrainingPoints) {
   const auto pipeline = novelty_pipeline(3.0);
   const auto& knn = pipeline.knn();
-  EXPECT_NEAR(knn.nearest_distance(knn.training_points().row(0)), 0.0,
-              1e-12);
+  EXPECT_NEAR(knn.query(knn.training_points().row(0),
+                        QueryOptions{.novelty = true})
+                  .novelty[0],
+              0.0, 1e-12);
 }
 
 TEST(Novelty, DistanceIsPositiveOffTheTrainingSet) {
   const auto pipeline = novelty_pipeline(3.0);
   const std::vector<double> far = {100.0, 100.0};
-  EXPECT_GT(pipeline.knn().nearest_distance(far), 50.0);
+  EXPECT_GT(
+      pipeline.knn().query(far, QueryOptions{.novelty = true}).novelty[0],
+      50.0);
 }
 
 }  // namespace

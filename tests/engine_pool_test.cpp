@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "engine/fleet.hpp"
 #include "engine/thread_pool.hpp"
 #include "monitor/bus.hpp"
+#include "obs/metrics.hpp"
 
 namespace appclass {
 namespace {
@@ -111,6 +113,42 @@ TEST(EngineContext, ShardBoundariesDependOnlyOnCountAndGrain) {
 TEST(EngineContext, MakeZeroUsesHardwareConcurrency) {
   const auto ctx = engine::ExecutionContext::make(0);
   EXPECT_GE(ctx->parallelism(), 1u);
+}
+
+TEST(EngineThreadPool, CountsJobsAndJobWaits) {
+  const auto jobs_before = [] {
+    return obs::MetricsRegistry::global()
+        .counter("appclass_engine_jobs_total")
+        .value();
+  };
+  obs::Histogram& wait =
+      obs::MetricsRegistry::global().histogram("appclass_engine_job_wait_seconds");
+
+  engine::ThreadPool pool(2);
+  const std::uint64_t jobs0 = jobs_before();
+  const std::uint64_t waits0 = wait.count();
+  pool.parallel_for(8, [](std::size_t) {});
+  // One job per parallel_for; one wait observation per claimed task.
+  EXPECT_EQ(jobs_before(), jobs0 + 1);
+  EXPECT_EQ(wait.count(), waits0 + 8);
+}
+
+TEST(EngineThreadPool, WorkerQueueDepthGaugesDrainToZero) {
+  engine::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.parallel_for(64, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 64);
+  // parallel_for returns only after every task has been claimed, so each
+  // per-worker depth gauge (including the caller's deque) reads zero.
+  const auto snapshot = obs::MetricsRegistry::global().snapshot();
+  std::size_t seen = 0;
+  for (const auto& g : snapshot.gauges) {
+    if (g.name != "appclass_engine_worker_queue_depth") continue;
+    EXPECT_EQ(g.value, 0.0) << g.labels[0].second;
+    ++seen;
+  }
+  // Workers "0".."2" plus the "caller" deque.
+  EXPECT_GE(seen, 4u);
 }
 
 TEST(EngineFleet, ConcurrentPushersAndDrainerAreRaceFree) {

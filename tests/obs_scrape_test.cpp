@@ -1,0 +1,141 @@
+// Scrape endpoint: route behaviour, Prometheus payload, and request
+// accounting, exercised over real loopback sockets.
+#include "obs/scrape.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace appclass {
+namespace {
+
+/// Blocking one-shot HTTP client: sends `request_line` + empty header
+/// block to 127.0.0.1:port and returns the whole response.
+std::string http_request(std::uint16_t port,
+                         const std::string& request_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request =
+      request_line + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buffer, sizeof buffer, 0)) > 0)
+    response.append(buffer, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+class ObsScrapeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<obs::ScrapeServer>();  // port 0: ephemeral
+    ASSERT_TRUE(server_->start());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  std::unique_ptr<obs::ScrapeServer> server_;
+};
+
+TEST_F(ObsScrapeTest, HealthzRespondsOk) {
+  const std::string response =
+      http_request(server_->port(), "GET /healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ok"), std::string::npos);
+}
+
+TEST_F(ObsScrapeTest, MetricsServesPrometheusText) {
+  obs::MetricsRegistry::global()
+      .counter("appclass_scrape_test_probe_total")
+      .inc();
+  const std::string response =
+      http_request(server_->port(), "GET /metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("# TYPE"), std::string::npos);
+  EXPECT_NE(response.find("appclass_scrape_test_probe_total"),
+            std::string::npos);
+}
+
+TEST_F(ObsScrapeTest, TracesRecentServesChromeJson) {
+  obs::TraceRecorder::global().clear();
+  obs::set_tracing_enabled(true);
+  { obs::TraceSpan span("scraped_span"); }
+  obs::set_tracing_enabled(false);
+
+  const std::string response =
+      http_request(server_->port(), "GET /traces/recent");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(response.find("scraped_span"), std::string::npos);
+}
+
+TEST_F(ObsScrapeTest, UnknownPathIs404) {
+  const std::string response =
+      http_request(server_->port(), "GET /nope");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST_F(ObsScrapeTest, NonGetIs405) {
+  const std::string response =
+      http_request(server_->port(), "POST /metrics");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos);
+}
+
+TEST_F(ObsScrapeTest, QueryStringsAreIgnoredInRouting) {
+  const std::string response =
+      http_request(server_->port(), "GET /healthz?verbose=1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+}
+
+TEST_F(ObsScrapeTest, RequestsAreCounted) {
+  const auto count = [] {
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    const auto* c = snapshot.find_counter("appclass_scrape_requests_total",
+                                          {{"path", "/healthz"}});
+    return c ? c->value : std::uint64_t{0};
+  };
+  const std::uint64_t before = count();
+  (void)http_request(server_->port(), "GET /healthz");
+  (void)http_request(server_->port(), "GET /healthz");
+  EXPECT_EQ(count(), before + 2);
+}
+
+TEST(ObsScrapeLifecycle, StopIsIdempotentAndPortIsReusable) {
+  obs::ScrapeServer first;
+  ASSERT_TRUE(first.start());
+  const std::uint16_t port = first.port();
+  first.stop();
+  first.stop();  // idempotent
+  EXPECT_FALSE(first.running());
+
+  // SO_REUSEADDR: a new server can bind the just-released port.
+  obs::ScrapeServer second({.bind_address = "127.0.0.1", .port = port});
+  EXPECT_TRUE(second.start());
+  second.stop();
+}
+
+}  // namespace
+}  // namespace appclass

@@ -27,6 +27,14 @@
 //       Sweep monitoring-fault kinds x rates over the five canonical
 //       workloads and write the accuracy-degradation curve as CSV
 //       (docs/robustness.md).
+//   appclass_cli serve <model.txt> [--port=N] [--duration=S]
+//       Load a model, replay the five canonical workload streams through a
+//       FleetStream, and expose /metrics, /healthz, and /traces/recent on
+//       an HTTP scrape endpoint until --duration seconds pass (0 =
+//       forever).
+//   appclass_cli trace dump <model.txt> <pool.csv> <out.json>
+//       Classify a pool with tracing enabled and dump the flight
+//       recorder's Chrome trace JSON (Perfetto-loadable) to out.json.
 //
 // Global flags (any position, any subcommand):
 //   --log-level=<trace|debug|info|warn|error|off>
@@ -34,25 +42,43 @@
 //   --stats[=json|prom]
 //       After the command, print the metrics-registry snapshot (stage
 //       timing histograms, counters) as a table, JSON, or Prometheus text.
+//   --stats-every=<N>
+//       Also print the snapshot to stderr every N seconds while the
+//       command runs (long-running subcommands: serve, chaos, train).
 //   --threads=<N>
 //       Engine execution width for train/classify/chaos: 1 = serial
 //       (default), N = a pool of N worker threads, 0 = one per hardware
 //       core. Results are bit-identical for every value.
+//   --trace
+//       Enable trace-context propagation and flight recording (also:
+//       APPCLASS_TRACE=1). Classification output is identical either way.
+//   --flight-dump=<path>
+//       Install crash handlers (SIGSEGV/SIGBUS/SIGABRT) that dump the
+//       flight recorder to <path> post mortem.
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/feature_selection.hpp"
 #include "core/robustness.hpp"
+#include "engine/fleet.hpp"
+#include "monitor/bus.hpp"
 #include "obs/export.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/scrape.hpp"
+#include "obs/trace.hpp"
 #include "workloads/trace_replay.hpp"
 #include "core/serialize.hpp"
 #include "core/trainer.hpp"
@@ -81,13 +107,21 @@ int usage() {
                "  trace-replay <trace.csv> <pool.csv>\n"
                "  chaos <out.csv> [--rates=0,0.1,...] [--kinds=drop,...]"
                " [--no-sanitize] [--seed=N]\n"
+               "  serve <model.txt> [--port=N] [--duration=S]\n"
+               "  trace dump <model.txt> <pool.csv> <out.json>\n"
                "flags:\n"
                "  --log-level=<trace|debug|info|warn|error|off>  stderr "
                "logging (default off)\n"
                "  --stats[=json|prom]  print the metrics registry snapshot "
                "after the command\n"
+               "  --stats-every=<N>  also print it to stderr every N "
+               "seconds while running\n"
                "  --threads=<N>  engine threads (1 = serial, 0 = hw cores); "
-               "results are identical for every value\n");
+               "results are identical for every value\n"
+               "  --trace  enable trace propagation + flight recording "
+               "(or APPCLASS_TRACE=1)\n"
+               "  --flight-dump=<path>  dump the flight recorder to <path> "
+               "on crash\n");
   return 2;
 }
 
@@ -351,6 +385,113 @@ int cmd_chaos(const std::string& out_path,
   return 0;
 }
 
+int cmd_serve(const std::string& model_path,
+              const std::vector<std::string>& flags) {
+  long long port = 9464;
+  long long duration_s = 0;  // 0 = run until killed
+  for (const auto& flag : flags) {
+    if (flag.rfind("--port=", 0) == 0) {
+      const auto parsed = parse_int(flag.substr(std::strlen("--port=")));
+      if (!parsed || *parsed < 0 || *parsed > 65535) {
+        std::fprintf(stderr, "serve: bad port '%s'\n",
+                     flag.substr(std::strlen("--port=")).c_str());
+        return 2;
+      }
+      port = *parsed;
+    } else if (flag.rfind("--duration=", 0) == 0) {
+      const auto parsed =
+          parse_int(flag.substr(std::strlen("--duration=")));
+      if (!parsed || *parsed < 0) {
+        std::fprintf(stderr, "serve: bad duration '%s'\n",
+                     flag.substr(std::strlen("--duration=")).c_str());
+        return 2;
+      }
+      duration_s = *parsed;
+    } else {
+      std::fprintf(stderr, "serve: unknown flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  core::ClassificationPipeline pipeline =
+      core::load_pipeline_file(model_path);
+  pipeline.set_parallelism(g_threads);
+
+  std::printf("recording canonical workload streams for replay...\n");
+  std::fflush(stdout);
+  const auto runs = core::record_canonical_runs();
+
+  monitor::MetricBus bus;
+  engine::FleetStream stream(pipeline);
+  stream.attach(bus);
+
+  obs::ScrapeServer server(
+      {.bind_address = "127.0.0.1",
+       .port = static_cast<std::uint16_t>(port)});
+  if (!server.start()) {
+    std::fprintf(stderr, "serve: cannot bind 127.0.0.1:%lld\n", port);
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (/metrics /healthz /traces/recent)"
+              "%s\n",
+              server.port(),
+              duration_s > 0 ? "" : "; interrupt to stop");
+  std::fflush(stdout);
+
+  // Replay the recorded announcement streams cyclically through the bus;
+  // the FleetStream grid-samples, batches, and classifies them, so every
+  // scrape sees live pipeline + engine metrics (and spans when tracing).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(duration_s);
+  std::size_t announced = 0;
+  std::size_t classified = 0;
+  for (std::size_t cycle = 0;; ++cycle) {
+    for (const auto& run : runs) {
+      if (run.announcements.empty()) continue;
+      for (std::size_t n = 0; n < 32; ++n) {
+        bus.announce(
+            run.announcements[(cycle * 32 + n) % run.announcements.size()]);
+        ++announced;
+      }
+    }
+    classified += stream.drain();
+    if (duration_s > 0 && std::chrono::steady_clock::now() >= deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+
+  stream.detach();
+  server.stop();
+  std::printf("served %zu announcements (%zu classified)\n", announced,
+              classified);
+  return 0;
+}
+
+int cmd_trace_dump(const std::string& model_path,
+                   const std::string& pool_path,
+                   const std::string& out_path) {
+  obs::set_tracing_enabled(true);
+  core::ClassificationPipeline pipeline =
+      core::load_pipeline_file(model_path);
+  pipeline.set_parallelism(g_threads);
+  const metrics::DataPool pool = metrics::from_csv(read_file(pool_path));
+  if (pool.empty()) {
+    std::fprintf(stderr, "pool %s holds no snapshots\n", pool_path.c_str());
+    return 1;
+  }
+  const core::ClassificationResult result = pipeline.classify(pool);
+  const auto& recorder = obs::TraceRecorder::global();
+  if (!recorder.dump_to_file(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("classified %zu snapshots (%s); %zu trace events -> %s\n",
+              pool.size(),
+              std::string(core::to_string(result.application_class)).c_str(),
+              recorder.size(), out_path.c_str());
+  return 0;
+}
+
 int cmd_apps() {
   for (const auto& name : workloads::catalog_names())
     std::printf("%s\n", name.c_str());
@@ -388,15 +529,62 @@ int run_command(const std::vector<std::string>& args) {
   if (command == "chaos" && argc >= 3)
     return cmd_chaos(args[2],
                      std::vector<std::string>(args.begin() + 3, args.end()));
+  if (command == "serve" && argc >= 3)
+    return cmd_serve(args[2],
+                     std::vector<std::string>(args.begin() + 3, args.end()));
+  if (command == "trace" && argc == 6 && args[2] == "dump")
+    return cmd_trace_dump(args[3], args[4], args[5]);
   return usage();
 }
+
+/// Background --stats-every ticker: dumps the metrics-registry snapshot
+/// to stderr every `seconds` until destroyed (condition variable, so
+/// shutdown is immediate rather than waiting out the period).
+class PeriodicStats {
+ public:
+  PeriodicStats(long long seconds, obs::ExportFormat format)
+      : seconds_(seconds), format_(format), thread_([this] { loop(); }) {}
+
+  ~PeriodicStats() {
+    {
+      const std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock lock(mutex_);
+    while (!cv_.wait_for(lock, std::chrono::seconds(seconds_),
+                         [this] { return stop_; })) {
+      lock.unlock();
+      const std::string report = obs::export_as(
+          obs::MetricsRegistry::global().snapshot(), format_);
+      std::fprintf(stderr, "== metrics (every %llds) ==\n", seconds_);
+      std::fwrite(report.data(), 1, report.size(), stderr);
+      std::fflush(stderr);
+      lock.lock();
+    }
+  }
+
+  long long seconds_;
+  obs::ExportFormat format_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   obs::Logger::global().configure_from_env();
+  obs::configure_tracing_from_env();
 
   bool stats = false;
+  long long stats_every_s = 0;
   obs::ExportFormat stats_format = obs::ExportFormat::kTable;
   std::vector<std::string> args;
   args.reserve(static_cast<std::size_t>(argc));
@@ -426,6 +614,25 @@ int main(int argc, char** argv) {
                    "unknown stats format '%s' (expected table, json, prom)\n",
                    arg.substr(std::strlen("--stats=")).c_str());
       return 2;
+    } else if (arg.rfind("--stats-every=", 0) == 0) {
+      const auto every =
+          parse_int(arg.substr(std::strlen("--stats-every=")));
+      if (!every || *every <= 0) {
+        std::fprintf(stderr,
+                     "bad --stats-every '%s' (expected seconds >= 1)\n",
+                     arg.substr(std::strlen("--stats-every=")).c_str());
+        return 2;
+      }
+      stats_every_s = *every;
+    } else if (arg == "--trace") {
+      obs::set_tracing_enabled(true);
+    } else if (arg.rfind("--flight-dump=", 0) == 0) {
+      const std::string path = arg.substr(std::strlen("--flight-dump="));
+      if (path.empty()) {
+        std::fprintf(stderr, "--flight-dump needs a path\n");
+        return 2;
+      }
+      obs::install_crash_dump(path);
     } else if (arg.rfind("--threads=", 0) == 0) {
       const auto threads = parse_int(arg.substr(std::strlen("--threads=")));
       if (!threads || *threads < 0) {
@@ -438,6 +645,9 @@ int main(int argc, char** argv) {
       args.push_back(arg);
     }
   }
+
+  std::optional<PeriodicStats> ticker;
+  if (stats_every_s > 0) ticker.emplace(stats_every_s, stats_format);
 
   int status = 2;
   try {
