@@ -30,6 +30,18 @@ OnlineMetrics& online_metrics() {
 
 }  // namespace
 
+obs::ModelHealthOptions make_health_options(std::size_t drift_window) {
+  obs::ModelHealthOptions options;
+  options.class_names.reserve(kClassCount);
+  for (const std::string_view name : kClassNames)
+    options.class_names.emplace_back(name);
+  if (drift_window > 0) {
+    options.drift.window = drift_window;
+    options.drift.reference_window = 2 * drift_window;
+  }
+  return options;
+}
+
 OnlineClassifier::OnlineClassifier(const ClassificationPipeline& pipeline,
                                    OnlineOptions options)
     : pipeline_(pipeline), options_(options) {
@@ -68,6 +80,12 @@ std::optional<ApplicationClass> OnlineClassifier::observe(
   }
 
   obs::ScopedTimer observe_timer(om.observe_seconds);
+  if (health_ != nullptr) {
+    // Detailed path: same label arithmetic, plus the health evidence.
+    const SnapshotClassification detail = pipeline_.classify_detailed(snapshot);
+    ingest(snapshot, detail);
+    return detail.label;
+  }
   const ApplicationClass label = pipeline_.classify(snapshot);
   ingest(snapshot, label);
   return label;
@@ -75,6 +93,17 @@ std::optional<ApplicationClass> OnlineClassifier::observe(
 
 void OnlineClassifier::ingest(const metrics::Snapshot& snapshot,
                               ApplicationClass label) {
+  ingest_impl(snapshot, label, nullptr);
+}
+
+void OnlineClassifier::ingest(const metrics::Snapshot& snapshot,
+                              const SnapshotClassification& detail) {
+  ingest_impl(snapshot, detail.label, &detail);
+}
+
+void OnlineClassifier::ingest_impl(const metrics::Snapshot& snapshot,
+                                   ApplicationClass label,
+                                   const SnapshotClassification* detail) {
   APPCLASS_EXPECTS(on_grid(snapshot));
   OnlineMetrics& om = online_metrics();
   om.observed.inc();
@@ -87,11 +116,34 @@ void OnlineClassifier::ingest(const metrics::Snapshot& snapshot,
   while (node.window.size() > options_.window) node.window.pop_front();
   refresh_window(node, snapshot.time);
 
+  const bool abstain =
+      options_.min_coverage > 0.0 && node.coverage < options_.min_coverage;
+
+  // Health evidence (abstained observations included — they enter the
+  // window too): strictly observational, never feeds back into the label
+  // or window state below.
+  if (health_ != nullptr) {
+    obs::HealthSample sample;
+    sample.node_ip = snapshot.node_ip;
+    sample.class_index = index_of(label);
+    sample.coverage = node.coverage;
+    sample.degraded = abstain;
+    sample.abstained = abstain;
+    if (detail != nullptr) {
+      sample.confidence = detail->confidence;
+      sample.vote_margin = detail->vote_margin;
+      sample.novel = pipeline_.novelty_threshold() > 0.0 &&
+                     detail->novelty > pipeline_.novelty_threshold();
+      sample.projected = detail->projected;
+    }
+    health_->record(sample);
+  }
+
   // Coverage-aware abstention: with too few valid samples in the window
   // (mid-blackout or right after one), hold the last stable class rather
   // than voting on fragments; the candidate streak resets so a change can
   // only fire from contiguous healthy evidence.
-  if (options_.min_coverage > 0.0 && node.coverage < options_.min_coverage) {
+  if (abstain) {
     ++abstained_;
     om.abstained.inc();
     node.candidate_streak = 0;

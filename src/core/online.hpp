@@ -23,8 +23,14 @@
 #include <utility>
 
 #include "core/pipeline.hpp"
+#include "obs/health.hpp"
 
 namespace appclass::core {
+
+/// ModelHealthOptions pre-filled with this domain's class names (obs is a
+/// lower layer and does not know them). `drift_window` sizes the drift
+/// detector's sliding window; 0 keeps the DriftOptions default.
+obs::ModelHealthOptions make_health_options(std::size_t drift_window = 0);
 
 struct OnlineOptions {
   /// Only snapshots with time % sampling_interval_s == 0 are classified
@@ -75,6 +81,18 @@ class OnlineClassifier {
   /// order — state updates stay single-threaded and deterministic.
   void ingest(const metrics::Snapshot& snapshot, ApplicationClass label);
 
+  /// Same, from the detailed evidence of classify_detailed(): identical
+  /// label bookkeeping, plus — when a health aggregator is attached —
+  /// confidence/margin/novelty accounting and the drift feed.
+  void ingest(const metrics::Snapshot& snapshot,
+              const SnapshotClassification& detail);
+
+  /// Attaches a model-health aggregator (nullptr detaches; not owned).
+  /// Health recording is strictly observational: labels, window state,
+  /// and behaviour-change events are bit-identical with or without it.
+  void attach_health(obs::ModelHealth* health) noexcept { health_ = health; }
+  obs::ModelHealth* health() const noexcept { return health_; }
+
   /// Called whenever a node's debounced dominant class changes.
   void on_change(ChangeCallback callback) { callback_ = std::move(callback); }
 
@@ -114,9 +132,14 @@ class OnlineClassifier {
   /// recomputes coverage as of `now`.
   void refresh_window(NodeState& node, metrics::SimTime now);
 
+  /// Shared ingest body; `detail` is nullptr on the label-only path.
+  void ingest_impl(const metrics::Snapshot& snapshot, ApplicationClass label,
+                   const SnapshotClassification* detail);
+
   const ClassificationPipeline& pipeline_;
   OnlineOptions options_;
   ChangeCallback callback_;
+  obs::ModelHealth* health_ = nullptr;
   std::map<std::string, NodeState> nodes_;
   std::size_t classified_ = 0;
   std::size_t abstained_ = 0;

@@ -1,5 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include <array>
+#include <cmath>
+
 #include "common/assert.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -281,6 +284,43 @@ ApplicationClass ClassificationPipeline::classify(
   thread_local engine::BlockedKnnIndex::Scratch scratch;
   const engine::BlockedKnnIndex& index = knn_.index();
   return index.vote(index.top_k(projected, scratch)).label;
+}
+
+SnapshotClassification ClassificationPipeline::classify_detailed(
+    const metrics::Snapshot& snapshot) const {
+  APPCLASS_EXPECTS(trained_);
+  // Identical arithmetic to classify(snapshot) — same transform chain,
+  // same kernel, same vote — plus the evidence the vote already holds:
+  // the hits carry the margin and novelty distance, the projection is
+  // the drift-detector feed. Keeping the two paths line-for-line in sync
+  // is what the bit-identity bench guard checks.
+  pipeline_metrics().snapshots.inc();
+  SnapshotClassification out;
+  out.projected = pca_.transform(preprocessor_.transform(snapshot));
+  thread_local engine::BlockedKnnIndex::Scratch scratch;
+  const engine::BlockedKnnIndex& index = knn_.index();
+  const auto hits = index.top_k(out.projected, scratch);
+  const engine::BlockedKnnIndex::Vote vote = index.vote(hits);
+  out.label = vote.label;
+  out.confidence = vote.share;
+
+  // Margin: winner minus runner-up vote count over k. Unanimous = 1.
+  std::array<int, kClassCount> votes{};
+  for (const auto& hit : hits) ++votes[index_of(index.labels()[hit.index])];
+  const int winner = votes[index_of(vote.label)];
+  int runner_up = 0;
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    if (c == index_of(vote.label)) continue;
+    runner_up = std::max(runner_up, votes[c]);
+  }
+  out.vote_margin = static_cast<double>(winner - runner_up) /
+                    static_cast<double>(hits.size());
+
+  // Hits are ascending by distance; squared L2 under Euclidean.
+  out.novelty = index.metric() == engine::DistanceMetric::kEuclidean
+                    ? std::sqrt(hits.front().distance)
+                    : hits.front().distance;
+  return out;
 }
 
 linalg::Matrix ClassificationPipeline::project(

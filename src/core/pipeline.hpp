@@ -89,6 +89,24 @@ struct ClassificationResult {
   double novel_fraction() const;
 };
 
+/// Per-snapshot classification evidence for the model-health layer: the
+/// label plus everything the vote already knew but the plain online path
+/// throws away. Produced by classify_detailed(); the label is computed by
+/// the identical arithmetic as classify(snapshot), so enabling the
+/// detailed path never changes classification output.
+struct SnapshotClassification {
+  ApplicationClass label = ApplicationClass::kIdle;
+  /// Winning-class vote share in (0, 1]; 1.0 = unanimous neighbourhood.
+  double confidence = 0.0;
+  /// (winner votes - runner-up votes) / k, in [0, 1].
+  double vote_margin = 0.0;
+  /// Distance to the nearest training point in PCA space (novelty
+  /// score, linear units).
+  double novelty = 0.0;
+  /// The snapshot's PCA-space coordinates (drift-detector feed).
+  std::vector<double> projected;
+};
+
 class ClassificationPipeline {
  public:
   explicit ClassificationPipeline(PipelineOptions options = {});
@@ -105,6 +123,17 @@ class ClassificationPipeline {
 
   /// Classifies one snapshot (online mode).
   ApplicationClass classify(const metrics::Snapshot& snapshot) const;
+
+  /// Classifies one snapshot and keeps the per-snapshot evidence (vote
+  /// share, margin, novelty distance, PCA coordinates) for the
+  /// model-health layer. Same label arithmetic as classify(snapshot).
+  SnapshotClassification classify_detailed(
+      const metrics::Snapshot& snapshot) const;
+
+  /// The configured novelty threshold (0 = novelty accounting disabled).
+  double novelty_threshold() const noexcept {
+    return options_.novelty_threshold;
+  }
 
   /// Projects a pool into PCA space without classifying (diagrams).
   linalg::Matrix project(const metrics::DataPool& pool) const;

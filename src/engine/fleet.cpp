@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace appclass::engine {
@@ -17,6 +18,17 @@ struct FleetMetrics {
       "appclass_fleet_drained_total");
   obs::Counter& batch_pools = obs::MetricsRegistry::global().counter(
       "appclass_fleet_batch_pools_total");
+  // Backpressure telemetry: is ingest keeping up with the fleet?
+  obs::Counter& dropped = obs::MetricsRegistry::global().counter(
+      "appclass_fleet_dropped_total");
+  obs::Gauge& backlog_peak =
+      obs::MetricsRegistry::global().gauge("appclass_fleet_backlog_peak");
+  obs::Gauge& drain_rate = obs::MetricsRegistry::global().gauge(
+      "appclass_fleet_drain_snapshots_per_second");
+  obs::Histogram& drain_seconds = obs::stage_histogram("fleet_drain");
+  obs::Histogram& drain_batch = obs::MetricsRegistry::global().histogram(
+      "appclass_fleet_drain_batch_size", {},
+      {1.0, 8.0, 64.0, 512.0, 4096.0, 32768.0});
 };
 
 FleetMetrics& fleet_metrics() {
@@ -42,21 +54,47 @@ std::vector<core::ClassificationResult> BatchClassifier::classify_pools(
 }
 
 FleetStream::FleetStream(const core::ClassificationPipeline& pipeline,
-                         core::OnlineOptions options)
-    : pipeline_(pipeline), online_(pipeline, options) {}
+                         core::OnlineOptions options, std::size_t max_backlog)
+    : pipeline_(pipeline),
+      online_(pipeline, options),
+      max_backlog_(max_backlog) {}
 
 FleetStream::~FleetStream() { detach(); }
 
-void FleetStream::push(const metrics::Snapshot& snapshot) {
-  if (!online_.on_grid(snapshot)) return;
+bool FleetStream::push(const metrics::Snapshot& snapshot) {
+  if (!online_.on_grid(snapshot)) return true;
+  FleetMetrics& fm = fleet_metrics();
   const std::lock_guard lock(mutex_);
+  if (max_backlog_ > 0 && pending_.size() >= max_backlog_) {
+    // Drop-on-full: losing one snapshot degrades one node's coverage for
+    // one grid slot (the online layer is built for exactly that), while
+    // an unbounded buffer under sustained overload degrades everything.
+    ++dropped_;
+    fm.dropped.inc();
+    return false;
+  }
   pending_.push_back(snapshot);
-  fleet_metrics().backlog.add(1.0);
+  if (pending_.size() > backlog_peak_) {
+    backlog_peak_ = pending_.size();
+    fm.backlog_peak.set(static_cast<double>(backlog_peak_));
+  }
+  fm.backlog.add(1.0);
+  return true;
 }
 
 std::size_t FleetStream::backlog() const {
   const std::lock_guard lock(mutex_);
   return pending_.size();
+}
+
+std::size_t FleetStream::backlog_peak() const {
+  const std::lock_guard lock(mutex_);
+  return backlog_peak_;
+}
+
+std::size_t FleetStream::dropped() const {
+  const std::lock_guard lock(mutex_);
+  return dropped_;
 }
 
 std::size_t FleetStream::drain() {
@@ -68,23 +106,40 @@ std::size_t FleetStream::drain() {
   if (batch.empty()) return 0;
   FleetMetrics& fm = fleet_metrics();
   fm.backlog.add(-static_cast<double>(batch.size()));
+  fm.drain_batch.observe(static_cast<double>(batch.size()));
 
   obs::TraceSpan span("fleet_drain");
   span.add_attr({"snapshots", batch.size()});
+  obs::ScopedTimer drain_timer(fm.drain_seconds);
 
   // Parallel classification (the pipeline's snapshot path is const and
   // uses thread-local kernel scratch), then strictly serial ingestion in
   // push order — the per-node windows and debounce see exactly the
-  // sequence observe() would have.
-  std::vector<core::ApplicationClass> labels(batch.size());
-  pipeline_.context()->for_each(batch.size(), [&](std::size_t i) {
-    labels[i] = pipeline_.classify(batch[i]);
-  });
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    online_.ingest(batch[i], labels[i]);
+  // sequence observe() would have. With a health aggregator attached the
+  // parallel stage keeps the full vote evidence per snapshot; the labels
+  // are computed by the identical arithmetic either way.
+  if (online_.health() != nullptr) {
+    std::vector<core::SnapshotClassification> details(batch.size());
+    pipeline_.context()->for_each(batch.size(), [&](std::size_t i) {
+      details[i] = pipeline_.classify_detailed(batch[i]);
+    });
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      online_.ingest(batch[i], details[i]);
+  } else {
+    std::vector<core::ApplicationClass> labels(batch.size());
+    pipeline_.context()->for_each(batch.size(), [&](std::size_t i) {
+      labels[i] = pipeline_.classify(batch[i]);
+    });
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      online_.ingest(batch[i], labels[i]);
+  }
 
+  const double seconds = drain_timer.stop();
+  if (seconds > 0.0)
+    fm.drain_rate.set(static_cast<double>(batch.size()) / seconds);
   fm.drained.inc(batch.size());
   APPCLASS_LOG_DEBUG("fleet.drain", {"snapshots", batch.size()},
+                     {"seconds", seconds},
                      {"parallelism", pipeline_.context()->parallelism()});
   return batch.size();
 }

@@ -44,16 +44,21 @@ class BatchClassifier {
 class FleetStream {
  public:
   /// The pipeline must stay alive for the stream's lifetime.
+  /// `max_backlog` bounds the pending buffer: a push arriving with the
+  /// buffer full is dropped (and counted on
+  /// appclass_fleet_dropped_total) instead of growing memory without
+  /// bound when drains fall behind the fleet. 0 = unbounded.
   FleetStream(const core::ClassificationPipeline& pipeline,
-              core::OnlineOptions options = {});
+              core::OnlineOptions options = {}, std::size_t max_backlog = 0);
   ~FleetStream();
 
   FleetStream(const FleetStream&) = delete;
   FleetStream& operator=(const FleetStream&) = delete;
 
   /// Buffers one snapshot if it falls on the sampling grid (thread-safe;
-  /// off-grid snapshots are dropped exactly as observe() would skip them).
-  void push(const metrics::Snapshot& snapshot);
+  /// off-grid snapshots are dropped exactly as observe() would skip
+  /// them). Returns false when the snapshot was dropped on a full buffer.
+  bool push(const metrics::Snapshot& snapshot);
 
   /// Classifies the buffered backlog in parallel on the pipeline's
   /// execution context, then ingests the labels serially in push order.
@@ -62,6 +67,12 @@ class FleetStream {
 
   /// Snapshots buffered and not yet drained (thread-safe).
   std::size_t backlog() const;
+
+  /// Largest backlog depth observed since construction (thread-safe).
+  std::size_t backlog_peak() const;
+
+  /// Pushes dropped on a full buffer since construction (thread-safe).
+  std::size_t dropped() const;
 
   /// Subscribes push() to a bus; detaches from any previous bus first.
   /// The bus must outlive the stream (or call detach() before it dies).
@@ -77,8 +88,11 @@ class FleetStream {
  private:
   const core::ClassificationPipeline& pipeline_;
   core::OnlineClassifier online_;
-  mutable std::mutex mutex_;  // guards pending_ only
+  std::size_t max_backlog_ = 0;
+  mutable std::mutex mutex_;  // guards pending_ / peak / dropped
   std::vector<metrics::Snapshot> pending_;
+  std::size_t backlog_peak_ = 0;
+  std::size_t dropped_ = 0;
   monitor::MetricBus* bus_ = nullptr;
   monitor::SubscriptionId subscription_ = 0;
 };

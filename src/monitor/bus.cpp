@@ -3,20 +3,40 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace appclass::monitor {
+namespace {
+
+/// Ingest-side backpressure telemetry: announcement volume and fan-out,
+/// resolved once so the announce path never touches the registry lock.
+struct BusMetrics {
+  obs::Counter& announcements = obs::MetricsRegistry::global().counter(
+      "appclass_bus_announcements_total");
+  obs::Gauge& listeners =
+      obs::MetricsRegistry::global().gauge("appclass_bus_listeners");
+};
+
+BusMetrics& bus_metrics() {
+  static BusMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 SubscriptionId MetricBus::subscribe(Listener listener) {
   APPCLASS_EXPECTS(listener != nullptr);
   const std::lock_guard lock(mutex_);
   const SubscriptionId id = next_id_++;
   listeners_.push_back(Entry{id, std::move(listener)});
+  bus_metrics().listeners.set(static_cast<double>(listeners_.size()));
   return id;
 }
 
 void MetricBus::unsubscribe(SubscriptionId id) {
   const std::lock_guard lock(mutex_);
   std::erase_if(listeners_, [id](const Entry& e) { return e.id == id; });
+  bus_metrics().listeners.set(static_cast<double>(listeners_.size()));
 }
 
 void MetricBus::announce(const metrics::Snapshot& snapshot) {
@@ -29,6 +49,7 @@ void MetricBus::announce(const metrics::Snapshot& snapshot) {
     for (const auto& e : listeners_) current.push_back(e.listener);
   }
   for (const auto& l : current) l(snapshot);
+  bus_metrics().announcements.inc();
 }
 
 std::size_t MetricBus::listener_count() const {

@@ -83,20 +83,40 @@ RequestLine parse_request_line(std::string_view request) {
   return out;
 }
 
-/// Bounded label value for appclass_scrape_requests_total: known routes
-/// keep their path, everything else collapses to "other" so arbitrary
-/// request targets cannot grow the registry.
-const char* path_label(const std::string& path) {
-  if (path == "/metrics") return "/metrics";
-  if (path == "/healthz") return "/healthz";
-  if (path == "/traces/recent") return "/traces/recent";
-  return "other";
-}
-
 }  // namespace
 
 ScrapeServer::ScrapeServer(ScrapeServerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      // Request-counter label budget: the three built-ins plus a handful
+      // of registered routes; anything beyond collapses to "other".
+      path_labels_(8) {
+  path_labels_.admit("/metrics");
+  path_labels_.admit("/healthz");
+  path_labels_.admit("/traces/recent");
+}
+
+void ScrapeServer::add_route(std::string path, std::string content_type,
+                             std::function<std::string()> handler) {
+  if (running()) return;
+  if (path == "/metrics" || path == "/healthz" || path == "/traces/recent")
+    return;
+  path_labels_.admit(path);
+  routes_[std::move(path)] =
+      Route{std::move(content_type), std::move(handler)};
+}
+
+void ScrapeServer::set_health_check(std::function<HealthVerdict()> check) {
+  if (running()) return;
+  health_check_ = std::move(check);
+}
+
+Counter& ScrapeServer::route_counter(const std::string& path) {
+  // admit() returns a stable reference (either the stored path or the
+  // shared "other" value), so every request target maps to one of at most
+  // max_values + 1 registry series.
+  return MetricsRegistry::global().counter(
+      "appclass_scrape_requests_total", {{"path", path_labels_.admit(path)}});
+}
 
 ScrapeServer::~ScrapeServer() { stop(); }
 
@@ -161,18 +181,6 @@ void ScrapeServer::stop() {
 
 void ScrapeServer::serve_loop() {
   auto& registry = MetricsRegistry::global();
-  Counter& metrics_requests =
-      registry.counter("appclass_scrape_requests_total",
-                       {{"path", "/metrics"}});
-  Counter& healthz_requests =
-      registry.counter("appclass_scrape_requests_total",
-                       {{"path", "/healthz"}});
-  Counter& traces_requests =
-      registry.counter("appclass_scrape_requests_total",
-                       {{"path", "/traces/recent"}});
-  Counter& other_requests =
-      registry.counter("appclass_scrape_requests_total",
-                       {{"path", "other"}});
 
   while (running()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -186,15 +194,7 @@ void ScrapeServer::serve_loop() {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
 
     const RequestLine request = parse_request_line(read_request(fd));
-    const std::string_view label = path_label(request.path);
-    Counter& route_counter =
-        label == "/metrics"
-            ? metrics_requests
-            : label == "/healthz"
-                  ? healthz_requests
-                  : label == "/traces/recent" ? traces_requests
-                                              : other_requests;
-    route_counter.inc();
+    route_counter(request.path).inc();
 
     if (request.method != "GET") {
       send_response(fd, "405 Method Not Allowed", "text/plain",
@@ -204,10 +204,27 @@ void ScrapeServer::serve_loop() {
                     "text/plain; version=0.0.4; charset=utf-8",
                     to_prometheus(registry.snapshot()));
     } else if (request.path == "/healthz") {
-      send_response(fd, "200 OK", "text/plain", "ok\n");
+      if (!health_check_) {
+        send_response(fd, "200 OK", "text/plain", "ok\n");
+      } else {
+        const HealthVerdict verdict = health_check_();
+        const std::string_view body =
+            !verdict.body.empty()
+                ? std::string_view(verdict.body)
+                : verdict.healthy
+                      ? std::string_view("{\"status\":\"ok\"}")
+                      : std::string_view("{\"status\":\"degraded\"}");
+        send_response(fd,
+                      verdict.healthy ? "200 OK" : "503 Service Unavailable",
+                      "application/json", body);
+      }
     } else if (request.path == "/traces/recent") {
       send_response(fd, "200 OK", "application/json",
                     TraceRecorder::global().to_chrome_json());
+    } else if (const auto it = routes_.find(request.path);
+               it != routes_.end()) {
+      send_response(fd, "200 OK", it->second.content_type,
+                    it->second.handler());
     } else {
       send_response(fd, "404 Not Found", "text/plain", "not found\n");
     }

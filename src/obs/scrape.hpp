@@ -2,22 +2,37 @@
 //
 //   GET /metrics        Prometheus text exposition 0.0.4 of the global
 //                       metrics registry
-//   GET /healthz        liveness probe ("ok")
+//   GET /healthz        liveness + model-health probe (see below)
 //   GET /traces/recent  flight-recorder contents as Chrome trace JSON
+//
+// plus any routes registered with add_route() before start() — the serve
+// subcommand mounts the model-health scorecards (/classes, /drift,
+// /nodes) this way. Handlers run on the accept thread and must be
+// thread-safe against whoever updates their backing state.
+//
+// /healthz is unconditionally "200 ok" until a health check is installed
+// with set_health_check(); with one, a degraded verdict turns the probe
+// into "503 Service Unavailable" with a JSON reason body, so a liveness
+// prober notices a classifier that is up but abstaining.
 //
 // One accept thread serves requests sequentially over plain POSIX
 // sockets — a deliberate non-framework design: scrapes are rare (every
 // few seconds), tiny, and read-only, so a single blocking loop with a
 // receive timeout is simpler and easier to audit than a connection pool.
 // The server never touches classification state; it only reads the
-// MetricsRegistry / TraceRecorder snapshots, both of which are safe to
-// read concurrently with recording.
+// MetricsRegistry / TraceRecorder snapshots and the registered handlers,
+// all of which are safe to read concurrently with recording.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <thread>
+
+#include "obs/cardinality.hpp"
+#include "obs/metrics.hpp"
 
 namespace appclass::obs {
 
@@ -27,6 +42,14 @@ struct ScrapeServerOptions {
   std::uint16_t port = 0;
 };
 
+/// Verdict of an installed health check (see set_health_check()).
+struct HealthVerdict {
+  bool healthy = true;
+  /// JSON body served with the probe response (200 when healthy, 503
+  /// when not). Empty falls back to {"status":"ok"} / {"status":"degraded"}.
+  std::string body;
+};
+
 class ScrapeServer {
  public:
   explicit ScrapeServer(ScrapeServerOptions options = {});
@@ -34,6 +57,16 @@ class ScrapeServer {
 
   ScrapeServer(const ScrapeServer&) = delete;
   ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// Registers a GET route served by `handler` (returns the body).
+  /// Must be called before start(); the built-in routes cannot be
+  /// overridden. Handlers run on the accept thread.
+  void add_route(std::string path, std::string content_type,
+                 std::function<std::string()> handler);
+
+  /// Installs the /healthz verdict callback (nullptr restores the
+  /// unconditional "ok"). Must be called before start().
+  void set_health_check(std::function<HealthVerdict()> check);
 
   /// Binds, listens, and launches the accept thread. False (with an
   /// ERROR log) when the socket cannot be bound.
@@ -51,9 +84,20 @@ class ScrapeServer {
   std::uint16_t port() const noexcept { return port_; }
 
  private:
+  struct Route {
+    std::string content_type;
+    std::function<std::string()> handler;
+  };
+
   void serve_loop();
+  Counter& route_counter(const std::string& path);
 
   ScrapeServerOptions options_;
+  std::map<std::string, Route> routes_;
+  std::function<HealthVerdict()> health_check_;
+  /// Bounded request-counter labels: built-ins + registered routes keep
+  /// their own series, arbitrary request targets collapse to "other".
+  BoundedLabelSet path_labels_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};

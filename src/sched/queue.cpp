@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "linalg/random.hpp"
 #include "monitor/harness.hpp"
+#include "obs/cardinality.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -31,9 +32,13 @@ QueueMetrics& queue_metrics() {
 }
 
 obs::Counter& placement_counter(std::size_t vm_index) {
+  // Bounded per-VM label: a testbed with more VMs than the budget folds
+  // the tail into one "other" series instead of growing the registry
+  // linearly with fleet size (same policy as the scrape-path counters).
+  static obs::BoundedLabelSet vm_labels(32);
   return obs::MetricsRegistry::global().counter(
       "appclass_sched_placements_total",
-      {{"vm", std::to_string(vm_index)}});
+      {{"vm", vm_labels.admit(std::to_string(vm_index))}});
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
-// Scrape endpoint: route behaviour, Prometheus payload, and request
-// accounting, exercised over real loopback sockets.
+// Scrape endpoint: route behaviour, Prometheus payload, request
+// accounting, registered JSON routes, health-check verdicts, and
+// concurrent-request safety, exercised over real loopback sockets.
 #include "obs/scrape.hpp"
 
 #include <arpa/inet.h>
@@ -9,9 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
@@ -121,6 +126,109 @@ TEST_F(ObsScrapeTest, RequestsAreCounted) {
   (void)http_request(server_->port(), "GET /healthz");
   (void)http_request(server_->port(), "GET /healthz");
   EXPECT_EQ(count(), before + 2);
+}
+
+TEST(ObsScrapeRoutes, RegisteredRouteServesItsHandler) {
+  obs::ScrapeServer server;
+  server.add_route("/classes", "application/json",
+                   [] { return std::string("{\"classes\":[]}"); });
+  ASSERT_TRUE(server.start());
+  const std::string response = http_request(server.port(), "GET /classes");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("{\"classes\":[]}"), std::string::npos);
+  server.stop();
+}
+
+TEST(ObsScrapeRoutes, BuiltInsCannotBeShadowed) {
+  obs::ScrapeServer server;
+  server.add_route("/metrics", "text/plain", [] { return std::string("x"); });
+  ASSERT_TRUE(server.start());
+  const std::string response = http_request(server.port(), "GET /metrics");
+  // Still the Prometheus exposition, not the would-be override.
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  server.stop();
+}
+
+TEST(ObsScrapeRoutes, HealthCheckDrivesHealthzStatus) {
+  obs::ScrapeServer server;
+  std::atomic<bool> healthy{true};
+  server.set_health_check([&healthy] {
+    return healthy.load()
+               ? obs::HealthVerdict{true, "{\"status\":\"ok\"}"}
+               : obs::HealthVerdict{
+                     false,
+                     "{\"status\":\"degraded\",\"degraded_nodes\":1}"};
+  });
+  ASSERT_TRUE(server.start());
+
+  std::string response = http_request(server.port(), "GET /healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+
+  healthy.store(false);
+  response = http_request(server.port(), "GET /healthz");
+  EXPECT_NE(response.find("HTTP/1.1 503 Service Unavailable"),
+            std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  server.stop();
+}
+
+TEST(ObsScrapeRoutes, ConcurrentRequestsDuringRecordingStayConsistent) {
+  // N client threads hammer /metrics, /drift, and /healthz while another
+  // thread records into the ModelHealth backing the routes — the
+  // scrape-server equivalent of scraping mid-drain.
+  obs::ModelHealthOptions options;
+  options.class_names = {"idle", "busy"};
+  obs::ModelHealth health(options);
+
+  obs::ScrapeServer server;
+  server.add_route("/drift", "application/json",
+                   [&health] { return health.drift_json(); });
+  server.set_health_check([&health] {
+    const obs::ModelHealth::Status status = health.status();
+    return obs::HealthVerdict{status.healthy, status.reason_json};
+  });
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::thread recorder([&] {
+    std::size_t i = 0;
+    while (!stop.load()) {
+      obs::HealthSample sample;
+      sample.node_ip = "10.0.0.1";
+      sample.class_index = i++ % 2;
+      sample.confidence = 0.9;
+      const double projected[2] = {0.1, -0.2};
+      sample.projected = projected;
+      health.record(sample);
+    }
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsEach = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const char* paths[] = {"GET /metrics", "GET /drift", "GET /healthz"};
+      for (int i = 0; i < kRequestsEach; ++i) {
+        const std::string response =
+            http_request(server.port(), paths[(t + i) % 3]);
+        if (response.find("HTTP/1.1 200 OK") == std::string::npos)
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  stop.store(true);
+  recorder.join();
+  server.stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(health.samples(), 0u);
 }
 
 TEST(ObsScrapeLifecycle, StopIsIdempotentAndPortIsReusable) {

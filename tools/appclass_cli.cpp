@@ -28,10 +28,14 @@
 //       workloads and write the accuracy-degradation curve as CSV
 //       (docs/robustness.md).
 //   appclass_cli serve <model.txt> [--port=N] [--duration=S]
+//                      [--drift-window=N]
 //       Load a model, replay the five canonical workload streams through a
-//       FleetStream, and expose /metrics, /healthz, and /traces/recent on
-//       an HTTP scrape endpoint until --duration seconds pass (0 =
-//       forever).
+//       FleetStream with a model-health aggregator attached, and expose
+//       /metrics, /healthz, /traces/recent plus the JSON scorecards
+//       /classes, /drift, and /nodes on an HTTP scrape endpoint until
+//       --duration seconds pass (0 = forever). /healthz turns 503 with a
+//       JSON reason while any node's classifier is degraded.
+//       --drift-window sizes the drift detector's sliding window.
 //   appclass_cli trace dump <model.txt> <pool.csv> <out.json>
 //       Classify a pool with tracing enabled and dump the flight
 //       recorder's Chrome trace JSON (Perfetto-loadable) to out.json.
@@ -74,6 +78,7 @@
 #include "engine/fleet.hpp"
 #include "monitor/bus.hpp"
 #include "obs/export.hpp"
+#include "obs/health.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -107,7 +112,8 @@ int usage() {
                "  trace-replay <trace.csv> <pool.csv>\n"
                "  chaos <out.csv> [--rates=0,0.1,...] [--kinds=drop,...]"
                " [--no-sanitize] [--seed=N]\n"
-               "  serve <model.txt> [--port=N] [--duration=S]\n"
+               "  serve <model.txt> [--port=N] [--duration=S]"
+               " [--drift-window=N]\n"
                "  trace dump <model.txt> <pool.csv> <out.json>\n"
                "flags:\n"
                "  --log-level=<trace|debug|info|warn|error|off>  stderr "
@@ -388,9 +394,19 @@ int cmd_chaos(const std::string& out_path,
 int cmd_serve(const std::string& model_path,
               const std::vector<std::string>& flags) {
   long long port = 9464;
-  long long duration_s = 0;  // 0 = run until killed
+  long long duration_s = 0;     // 0 = run until killed
+  long long drift_window = 0;   // 0 = DriftOptions default
   for (const auto& flag : flags) {
-    if (flag.rfind("--port=", 0) == 0) {
+    if (flag.rfind("--drift-window=", 0) == 0) {
+      const auto parsed =
+          parse_int(flag.substr(std::strlen("--drift-window=")));
+      if (!parsed || *parsed < 0) {
+        std::fprintf(stderr, "serve: bad drift window '%s'\n",
+                     flag.substr(std::strlen("--drift-window=")).c_str());
+        return 2;
+      }
+      drift_window = *parsed;
+    } else if (flag.rfind("--port=", 0) == 0) {
       const auto parsed = parse_int(flag.substr(std::strlen("--port=")));
       if (!parsed || *parsed < 0 || *parsed > 65535) {
         std::fprintf(stderr, "serve: bad port '%s'\n",
@@ -425,15 +441,35 @@ int cmd_serve(const std::string& model_path,
   engine::FleetStream stream(pipeline);
   stream.attach(bus);
 
+  // Model-health aggregator: fed by every drained snapshot (the detailed
+  // classify path), read by the scorecard routes, /healthz, and the
+  // --stats-every ticker. Strictly observational — labels are identical
+  // with or without it.
+  obs::ModelHealth health(
+      core::make_health_options(static_cast<std::size_t>(drift_window)));
+  stream.online().attach_health(&health);
+  obs::ModelHealth::set_instance(&health);
+
   obs::ScrapeServer server(
       {.bind_address = "127.0.0.1",
        .port = static_cast<std::uint16_t>(port)});
+  server.add_route("/classes", "application/json",
+                   [&health] { return health.classes_json(); });
+  server.add_route("/drift", "application/json",
+                   [&health] { return health.drift_json(); });
+  server.add_route("/nodes", "application/json",
+                   [&health] { return health.nodes_json(); });
+  server.set_health_check([&health] {
+    const obs::ModelHealth::Status status = health.status();
+    return obs::HealthVerdict{status.healthy, status.reason_json};
+  });
   if (!server.start()) {
+    obs::ModelHealth::set_instance(nullptr);
     std::fprintf(stderr, "serve: cannot bind 127.0.0.1:%lld\n", port);
     return 1;
   }
-  std::printf("serving on 127.0.0.1:%u (/metrics /healthz /traces/recent)"
-              "%s\n",
+  std::printf("serving on 127.0.0.1:%u (/metrics /healthz /traces/recent"
+              " /classes /drift /nodes)%s\n",
               server.port(),
               duration_s > 0 ? "" : "; interrupt to stop");
   std::fflush(stdout);
@@ -462,8 +498,10 @@ int cmd_serve(const std::string& model_path,
 
   stream.detach();
   server.stop();
+  obs::ModelHealth::set_instance(nullptr);
   std::printf("served %zu announcements (%zu classified)\n", announced,
               classified);
+  std::printf("%s\n", health.summary_line().c_str());
   return 0;
 }
 
@@ -564,6 +602,10 @@ class PeriodicStats {
           obs::MetricsRegistry::global().snapshot(), format_);
       std::fprintf(stderr, "== metrics (every %llds) ==\n", seconds_);
       std::fwrite(report.data(), 1, report.size(), stderr);
+      // Model-health scorecard summary, when a serving aggregator is live
+      // (the instance pointer is how this decoupled ticker finds it).
+      if (const obs::ModelHealth* health = obs::ModelHealth::instance())
+        std::fprintf(stderr, "%s\n", health->summary_line().c_str());
       std::fflush(stderr);
       lock.lock();
     }
