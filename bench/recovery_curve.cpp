@@ -1,0 +1,242 @@
+// Process-level crash chaos: recovery time and snapshots lost vs WAL
+// fsync policy, written as BENCH_recovery.json for CI — the robustness
+// complement of ablation_faults (data faults) for process faults.
+//
+//   recovery_curve [--quick] [--out=BENCH_recovery.json]
+//
+// For each fsync policy (always, interval, never) the harness forks a
+// worker that write-ahead logs + ingests a deterministic canonical
+// stream, checkpoints once mid-way, and SIGKILLs itself mid-ingest. The
+// parent then recovers from the surviving files, measuring wall-clock
+// recovery time and snapshots lost, and aborts unless the recovered
+// state is bit-identical to an uninterrupted reference run over the
+// durable prefix and the loss respects the policy's documented bound
+// (always: 0, interval: <= sync_every, never: unbounded).
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/assert.hpp"
+#include "core/online.hpp"
+#include "core/robustness.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/recovery.hpp"
+#include "persist/wal.hpp"
+
+namespace {
+
+using namespace appclass;
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string policy;
+  std::size_t sync_every = 0;
+  std::size_t ingested_at_kill = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t lost = 0;
+  bool bound_ok = true;
+  bool checkpoint_loaded = false;
+  std::uint64_t replayed = 0;
+  double recovery_seconds = 0.0;
+  double wal_append_per_sec = 0.0;
+};
+
+/// Canonical byte image of a classifier's full online state (the
+/// checkpoint encoding doubles as the bit-identity witness).
+std::string state_image(const core::OnlineClassifier& online) {
+  persist::CheckpointData data;
+  data.options = online.options();
+  data.online = online.export_state();
+  return persist::encode_checkpoint(data);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--quick")) {
+      quick = true;
+    } else if (!std::strncmp(argv[i], "--out=", 6)) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: recovery_curve [--quick] [--out=file.json]\n");
+      return 2;
+    }
+  }
+  bench::dump_registry_at_exit();
+
+  const core::ClassificationPipeline& pipeline = bench::trained_pipeline();
+  const auto runs = core::record_canonical_runs();
+
+  // Deterministic grid-aligned stream cycling the five canonical
+  // workloads across five node IPs — identical bytes in the killed
+  // worker, the recovery, and the uninterrupted reference, because all
+  // three are built from the same recorded announcements.
+  const std::size_t total = quick ? 600 : 2500;
+  const std::size_t checkpoint_at = total / 2;
+  std::vector<metrics::Snapshot> stream;
+  stream.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto& run = runs[i % runs.size()];
+    metrics::Snapshot snapshot =
+        run.announcements[(i / runs.size()) % run.announcements.size()];
+    snapshot.time = static_cast<metrics::SimTime>(i / runs.size()) * 5;
+    snapshot.node_ip = "10.0.0." + std::to_string(1 + i % runs.size());
+    stream.push_back(snapshot);
+  }
+
+  char tmpl[] = "/tmp/appclass_recovery_curve_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "cannot create scratch directory\n");
+    return 1;
+  }
+  const std::string scratch = tmpl;
+
+  const persist::WalOptions policies[] = {
+      {.fsync = persist::FsyncPolicy::kAlways},
+      {.fsync = persist::FsyncPolicy::kInterval, .sync_every = 32},
+      {.fsync = persist::FsyncPolicy::kNever},
+  };
+
+  std::vector<Row> rows;
+  for (const auto& wal_options : policies) {
+    Row row;
+    row.policy = std::string(persist::to_string(wal_options.fsync));
+    row.sync_every = wal_options.sync_every;
+    row.ingested_at_kill = total;
+    const std::string dir = scratch + "/" + row.policy;
+    std::filesystem::create_directories(dir);
+
+    // Append throughput of the bare log under this policy — what the
+    // serving path pays per accepted snapshot for its durability level.
+    {
+      const std::string tp_dir = dir + "/throughput";
+      const auto t0 = Clock::now();
+      {
+        persist::WalWriter wal(tp_dir, wal_options, 0);
+        for (const auto& snapshot : stream) wal.append(snapshot);
+        wal.sync();
+      }
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      row.wal_append_per_sec = static_cast<double>(total) / seconds;
+      std::filesystem::remove_all(tp_dir);
+    }
+
+    // Crash pass: the worker dies by SIGKILL mid-ingest — no destructor,
+    // no flush — exactly what a node failure leaves on disk.
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork failed: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (pid == 0) {
+      core::OnlineClassifier online(pipeline);
+      persist::WalWriter wal(dir + "/wal", wal_options, 0);
+      for (std::size_t i = 0; i < total; ++i) {
+        wal.append(stream[i]);
+        online.ingest(stream[i], pipeline.classify(stream[i]));
+        if (i + 1 == checkpoint_at) {
+          wal.sync();
+          persist::CheckpointData data;
+          data.wal_next = i + 1;
+          data.options = online.options();
+          data.online = online.export_state();
+          persist::write_checkpoint(dir + "/checkpoints", data);
+        }
+      }
+      ::raise(SIGKILL);
+      ::_exit(127);  // unreachable
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFSIGNALED(status) ||
+        WTERMSIG(status) != SIGKILL) {
+      std::fprintf(stderr, "worker did not die by SIGKILL as arranged\n");
+      return 1;
+    }
+
+    core::OnlineClassifier recovered(pipeline);
+    const persist::RecoveryReport report =
+        persist::recover(dir, pipeline, recovered);
+    row.recovered = report.wal_next_seq;
+    row.lost = total - report.wal_next_seq;
+    row.checkpoint_loaded = report.checkpoint_loaded;
+    row.replayed = report.replayed;
+    row.recovery_seconds = report.seconds;
+
+    // The durable prefix must replay to bit-identical state, and the
+    // loss must honour the policy's bound.
+    core::OnlineClassifier reference(pipeline);
+    for (std::uint64_t i = 0; i < row.recovered; ++i)
+      reference.ingest(stream[i], pipeline.classify(stream[i]));
+    APPCLASS_ENSURES(state_image(recovered) == state_image(reference));
+    switch (wal_options.fsync) {
+      case persist::FsyncPolicy::kAlways:
+        row.bound_ok = row.lost == 0;
+        break;
+      case persist::FsyncPolicy::kInterval:
+        row.bound_ok = row.lost <= wal_options.sync_every;
+        break;
+      case persist::FsyncPolicy::kNever:
+        // No durability promise, but the mid-stream checkpoint was
+        // explicitly synced, so at least that horizon must survive.
+        row.bound_ok = row.recovered >= checkpoint_at;
+        break;
+    }
+    APPCLASS_ENSURES(row.bound_ok);
+    rows.push_back(row);
+  }
+  std::filesystem::remove_all(scratch);
+
+  std::printf("%-10s %12s %10s %8s %10s %12s %16s\n", "policy", "at_kill",
+              "recovered", "lost", "replayed", "recovery_s", "appends/sec");
+  for (const auto& row : rows)
+    std::printf("%-10s %12zu %10llu %8llu %10llu %12.4f %16.0f\n",
+                row.policy.c_str(), row.ingested_at_kill,
+                static_cast<unsigned long long>(row.recovered),
+                static_cast<unsigned long long>(row.lost),
+                static_cast<unsigned long long>(row.replayed),
+                row.recovery_seconds, row.wal_append_per_sec);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"recovery_curve\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"bit_identical_prefix\": true,\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::fprintf(
+        out,
+        "    {\"policy\": \"%s\", \"sync_every\": %zu, "
+        "\"ingested_at_kill\": %zu, \"recovered\": %llu, \"lost\": %llu, "
+        "\"bound_ok\": %s, \"checkpoint_loaded\": %s, \"replayed\": %llu, "
+        "\"recovery_seconds\": %.6f, \"wal_append_per_sec\": %.1f}%s\n",
+        row.policy.c_str(), row.sync_every, row.ingested_at_kill,
+        static_cast<unsigned long long>(row.recovered),
+        static_cast<unsigned long long>(row.lost),
+        row.bound_ok ? "true" : "false",
+        row.checkpoint_loaded ? "true" : "false",
+        static_cast<unsigned long long>(row.replayed), row.recovery_seconds,
+        row.wal_append_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Crash-safe file helpers shared by model serialization (core) and the
+// checkpoint/WAL layer (persist).
+//
+// atomic_write_file() writes to a temporary file *in the same directory*
+// as the target (rename(2) is only atomic within one filesystem), flushes
+// it to stable storage, and renames it over the target. A crash at any
+// point leaves either the old file or the new one — never a truncated
+// hybrid. Errors throw std::runtime_error carrying the path and errno
+// text so operators can tell a full disk from a bad mount.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace appclass::common {
+
+[[noreturn]] inline void throw_errno(const std::string& what,
+                                     const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " +
+                           std::strerror(errno ? errno : EIO));
+}
+
+/// Writes `content` to `fd` completely (retrying short writes / EINTR).
+/// Returns false with errno set on failure.
+inline bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fsync() of a directory, so a rename into it survives a power cut.
+/// Best effort: some filesystems refuse O_DIRECTORY fsync; that is not a
+/// correctness problem for process-level crashes.
+inline void sync_directory_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Atomically replaces `path` with `content`: write temp in the same
+/// directory, fsync, rename, fsync directory. Throws std::runtime_error
+/// with errno context on any failure (the temp file is removed).
+inline void atomic_write_file(const std::string& path,
+                              const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("cannot open for write:", tmp);
+  if (!write_all(fd, content.data(), content.size())) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_errno("write failed:", tmp);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_errno("fsync failed:", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("close failed:", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("rename failed:", path);
+  }
+  sync_directory_of(path);
+}
+
+/// Reads a whole file; throws std::runtime_error with errno context when
+/// it cannot be opened or read.
+inline std::string read_file_or_throw(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("cannot open for read:", path);
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_errno("read failed:", path);
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace appclass::common

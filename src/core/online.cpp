@@ -186,6 +186,41 @@ void OnlineClassifier::ingest_impl(const metrics::Snapshot& snapshot,
   }
 }
 
+OnlineStateImage OnlineClassifier::export_state() const {
+  OnlineStateImage image;
+  image.classified = classified_;
+  image.abstained = abstained_;
+  image.nodes.reserve(nodes_.size());
+  for (const auto& [ip, node] : nodes_) {
+    OnlineNodeImage n;
+    n.node_ip = ip;
+    n.window.assign(node.window.begin(), node.window.end());
+    n.stable_class = node.stable_class;
+    n.candidate = node.candidate;
+    n.candidate_streak = node.candidate_streak;
+    n.first_time = node.first_time;
+    n.coverage = node.coverage;
+    image.nodes.push_back(std::move(n));
+  }
+  return image;
+}
+
+void OnlineClassifier::import_state(const OnlineStateImage& image) {
+  classified_ = image.classified;
+  abstained_ = image.abstained;
+  nodes_.clear();
+  for (const auto& n : image.nodes) {
+    NodeState node;
+    node.window.assign(n.window.begin(), n.window.end());
+    node.stable_class = n.stable_class;
+    node.candidate = n.candidate;
+    node.candidate_streak = n.candidate_streak;
+    node.first_time = n.first_time;
+    node.coverage = n.coverage;
+    nodes_.emplace(n.node_ip, std::move(node));
+  }
+}
+
 std::optional<ClassComposition> OnlineClassifier::composition(
     const std::string& node_ip) const {
   const auto it = nodes_.find(node_ip);

@@ -56,6 +56,28 @@ struct BehaviourChange {
   ApplicationClass to = ApplicationClass::kIdle;
 };
 
+/// Complete serializable image of an OnlineClassifier's mutable state —
+/// everything checkpoint/recovery must persist so a restarted process
+/// resumes with bit-identical windows, debounce streaks, and counters.
+/// Nodes are ordered by node_ip (the classifier's own map order), so two
+/// equal states always encode identically.
+struct OnlineNodeImage {
+  std::string node_ip;
+  /// (time, label) pairs in window order (oldest first).
+  std::vector<std::pair<metrics::SimTime, ApplicationClass>> window;
+  std::optional<ApplicationClass> stable_class;
+  ApplicationClass candidate = ApplicationClass::kIdle;
+  std::size_t candidate_streak = 0;
+  metrics::SimTime first_time = 0;
+  double coverage = 1.0;
+};
+
+struct OnlineStateImage {
+  std::size_t classified = 0;
+  std::size_t abstained = 0;
+  std::vector<OnlineNodeImage> nodes;
+};
+
 class OnlineClassifier {
  public:
   using ChangeCallback = std::function<void(const BehaviourChange&)>;
@@ -117,6 +139,20 @@ class OnlineClassifier {
 
   /// Grid-aligned observations absorbed while abstaining.
   std::size_t abstained_count() const noexcept { return abstained_; }
+
+  /// The options the classifier was constructed with (checkpoints persist
+  /// them so recovery can refuse a state written under different knobs).
+  const OnlineOptions& options() const noexcept { return options_; }
+
+  /// Snapshot of all mutable state, for checkpointing. Deterministic:
+  /// equal classifier states produce equal images.
+  OnlineStateImage export_state() const;
+
+  /// Replaces all mutable state with `image` (inverse of export_state).
+  /// The pipeline and options are NOT part of the image — the caller must
+  /// reconstruct the classifier under the same ones for recovered
+  /// classifications to be meaningful.
+  void import_state(const OnlineStateImage& image);
 
  private:
   struct NodeState {

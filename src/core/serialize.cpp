@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "common/assert.hpp"
+#include "common/fs.hpp"
 
 namespace appclass::core {
 
@@ -111,6 +112,7 @@ std::string save_pipeline(const ClassificationPipeline& pipeline) {
 
 ClassificationPipeline load_pipeline(const std::string& text) {
   std::string_view view = text;
+  if (view.empty()) fail("empty model file");
   const bool v1 = view.rfind(kMagicV1, 0) == 0;
   if (!v1 && view.rfind(kMagic, 0) != 0) fail("bad magic/version header");
 
@@ -124,6 +126,14 @@ ClassificationPipeline load_pipeline(const std::string& text) {
            (recorded.back() == '\n' || recorded.back() == '\r' ||
             recorded.back() == ' '))
       recorded.remove_suffix(1);
+    // A footer tag with fewer than 16 hex digits means the crash landed
+    // inside the footer itself — report that distinctly from damage to
+    // the body, which surfaces as a value mismatch below.
+    if (recorded.size() != 16 ||
+        recorded.find_first_not_of("0123456789abcdef") !=
+            std::string_view::npos)
+      fail("truncated checksum footer (expected 16 hex digits, found '" +
+           std::string(recorded) + "')");
     const std::string computed = to_hex64(fnv1a64(view.substr(0, footer)));
     if (recorded != computed)
       fail("checksum mismatch: file is corrupt (expected " + computed +
@@ -202,6 +212,15 @@ ClassificationPipeline load_pipeline(const std::string& text) {
     for (std::size_t c = 0; c < q; ++c) points(i, c) = read_double(is);
   }
 
+  // After the training set the only legal continuations are the checksum
+  // footer (v2) or end of file (v1). Anything else is a section this
+  // build does not understand — loading would silently drop state, so
+  // refuse loudly instead.
+  std::string trailing;
+  if (is >> trailing && trailing != "checksum")
+    fail("unknown section '" + trailing +
+         "' (file written by a newer format version?)");
+
   KnnClassifier knn(knn_options);
   knn.train(std::move(points), std::move(labels));
   return ClassificationPipeline::restore(
@@ -213,18 +232,20 @@ ClassificationPipeline load_pipeline(const std::string& text) {
 
 void save_pipeline_file(const ClassificationPipeline& pipeline,
                         const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
-  out << save_pipeline(pipeline);
-  if (!out) throw std::runtime_error("write failed: " + path);
+  // Write-temp + rename: a crash mid-save leaves the previous model (or
+  // nothing) in place, never a truncated file that fails its checksum at
+  // the next startup. Errors carry path + errno context.
+  common::atomic_write_file(path, save_pipeline(pipeline));
 }
 
 ClassificationPipeline load_pipeline_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return load_pipeline(buffer.str());
+  std::string text;
+  try {
+    text = common::read_file_or_throw(path);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("pipeline model: " + std::string(e.what()));
+  }
+  return load_pipeline(text);
 }
 
 }  // namespace appclass::core

@@ -61,6 +61,16 @@ FleetStream::FleetStream(const core::ClassificationPipeline& pipeline,
 
 FleetStream::~FleetStream() { detach(); }
 
+void FleetStream::set_ingest_hook(IngestHook hook) {
+  const std::lock_guard lock(mutex_);
+  ingest_hook_ = std::move(hook);
+}
+
+std::uint64_t FleetStream::ingested_wal_horizon() const {
+  const std::lock_guard lock(mutex_);
+  return ingested_wal_horizon_;
+}
+
 bool FleetStream::push(const metrics::Snapshot& snapshot) {
   if (!online_.on_grid(snapshot)) return true;
   FleetMetrics& fm = fleet_metrics();
@@ -69,10 +79,21 @@ bool FleetStream::push(const metrics::Snapshot& snapshot) {
     // Drop-on-full: losing one snapshot degrades one node's coverage for
     // one grid slot (the online layer is built for exactly that), while
     // an unbounded buffer under sustained overload degrades everything.
+    const auto now = std::chrono::steady_clock::now();
+    // WARN once per overload episode: the first drop ever, or the first
+    // after 10 s without one. A sustained storm stays on the counters.
+    if (dropped_ == 0 || now - last_drop_ > std::chrono::seconds(10)) {
+      APPCLASS_LOG_WARN("fleet.backpressure_drop",
+                        {"node", snapshot.node_ip},
+                        {"backlog", pending_.size()},
+                        {"dropped_total", dropped_ + 1});
+    }
+    last_drop_ = now;
     ++dropped_;
     fm.dropped.inc();
     return false;
   }
+  if (ingest_hook_) pending_seqs_.push_back(ingest_hook_(snapshot));
   pending_.push_back(snapshot);
   if (pending_.size() > backlog_peak_) {
     backlog_peak_ = pending_.size();
@@ -99,9 +120,11 @@ std::size_t FleetStream::dropped() const {
 
 std::size_t FleetStream::drain() {
   std::vector<metrics::Snapshot> batch;
+  std::vector<std::uint64_t> seqs;
   {
     const std::lock_guard lock(mutex_);
     batch.swap(pending_);
+    seqs.swap(pending_seqs_);
   }
   if (batch.empty()) return 0;
   FleetMetrics& fm = fleet_metrics();
@@ -132,6 +155,11 @@ std::size_t FleetStream::drain() {
     });
     for (std::size_t i = 0; i < batch.size(); ++i)
       online_.ingest(batch[i], labels[i]);
+  }
+
+  if (!seqs.empty()) {
+    const std::lock_guard lock(mutex_);
+    ingested_wal_horizon_ = seqs.back() + 1;
   }
 
   const double seconds = drain_timer.stop();

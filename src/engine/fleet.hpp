@@ -14,6 +14,9 @@
 //     bit-identical to calling observe() snapshot by snapshot.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -60,6 +63,21 @@ class FleetStream {
   /// them). Returns false when the snapshot was dropped on a full buffer.
   bool push(const metrics::Snapshot& snapshot);
 
+  /// Durability hook, called under the stream lock for every *accepted*
+  /// push, in exactly the order the snapshots will later be ingested —
+  /// the serve path points it at persist::WalWriter::append so the log
+  /// order equals ingest order. Returns the snapshot's WAL sequence
+  /// number. Install before the first push; keep the callee fast (it runs
+  /// inside the push critical section — that is the point: accept and
+  /// log are atomic with respect to each other).
+  using IngestHook = std::function<std::uint64_t(const metrics::Snapshot&)>;
+  void set_ingest_hook(IngestHook hook);
+
+  /// One past the WAL sequence of the last snapshot actually ingested by
+  /// drain() — the `wal_next` horizon a checkpoint of online() state is
+  /// entitled to claim. 0 until the hook has fed a drain.
+  std::uint64_t ingested_wal_horizon() const;
+
   /// Classifies the buffered backlog in parallel on the pipeline's
   /// execution context, then ingests the labels serially in push order.
   /// Returns the number of snapshots classified.
@@ -89,10 +107,16 @@ class FleetStream {
   const core::ClassificationPipeline& pipeline_;
   core::OnlineClassifier online_;
   std::size_t max_backlog_ = 0;
-  mutable std::mutex mutex_;  // guards pending_ / peak / dropped
+  mutable std::mutex mutex_;  // guards pending_ / seqs / peak / dropped
   std::vector<metrics::Snapshot> pending_;
+  std::vector<std::uint64_t> pending_seqs_;  // parallel to pending_ (hooked)
+  IngestHook ingest_hook_;
+  std::uint64_t ingested_wal_horizon_ = 0;
   std::size_t backlog_peak_ = 0;
   std::size_t dropped_ = 0;
+  /// Rate-limited backpressure WARN: time of the most recent drop, so the
+  /// first drop after a quiet period logs and a drop storm does not.
+  std::chrono::steady_clock::time_point last_drop_;
   monitor::MetricBus* bus_ = nullptr;
   monitor::SubscriptionId subscription_ = 0;
 };

@@ -7,8 +7,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "obs/export.hpp"
 #include "obs/log.hpp"
@@ -18,20 +21,25 @@
 namespace appclass::obs {
 namespace {
 
-constexpr std::size_t kMaxRequestBytes = 8 * 1024;
-
 /// Reads until the end of the HTTP header block (CRLFCRLF), a timeout,
 /// peer close, or the size cap. Bodies are ignored — every route is GET.
-std::string read_request(int fd) {
+std::string read_request(int fd, std::size_t max_bytes) {
   std::string request;
   char buffer[1024];
-  while (request.size() < kMaxRequestBytes) {
+  while (request.size() < max_bytes) {
     const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
     if (n <= 0) break;
     request.append(buffer, static_cast<std::size_t>(n));
     if (request.find("\r\n\r\n") != std::string::npos) break;
   }
   return request;
+}
+
+timeval to_timeval(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return tv;
 }
 
 void send_all(int fd, std::string_view data) {
@@ -142,11 +150,29 @@ bool ScrapeServer::start() {
     listen_fd_ = -1;
     return false;
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-          0 ||
-      ::listen(listen_fd_, 16) != 0) {
+  // Bind with bounded retries: a restarted worker often races its dead
+  // predecessor's socket lingering in TIME_WAIT / not-yet-reaped, and a
+  // short backoff loop reclaims the port without operator intervention.
+  int backoff_ms = options_.bind_retry_initial_ms;
+  bool listening = false;
+  for (int attempt = 0; attempt <= options_.bind_retries; ++attempt) {
+    if (attempt > 0) {
+      APPCLASS_LOG_WARN("scrape.bind_retry", {"attempt", attempt},
+                        {"port", options_.port}, {"backoff_ms", backoff_ms});
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 2000);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+            0 &&
+        ::listen(listen_fd_, 16) == 0) {
+      listening = true;
+      break;
+    }
+  }
+  if (!listening) {
     APPCLASS_LOG_ERROR("scrape.bind_failed", {"errno", errno},
-                       {"port", options_.port});
+                       {"port", options_.port},
+                       {"attempts", options_.bind_retries + 1});
     ::close(listen_fd_);
     listen_fd_ = -1;
     return false;
@@ -189,11 +215,22 @@ void ScrapeServer::serve_loop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
-    timeval timeout{};
-    timeout.tv_sec = 2;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    const timeval rcv = to_timeval(options_.read_timeout_ms);
+    const timeval snd = to_timeval(options_.write_timeout_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv, sizeof rcv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof snd);
 
-    const RequestLine request = parse_request_line(read_request(fd));
+    const std::string raw = read_request(fd, options_.max_request_bytes);
+    // The cap was hit without a complete header block: refuse rather
+    // than buffer an unbounded header stream.
+    if (raw.size() >= options_.max_request_bytes &&
+        raw.find("\r\n\r\n") == std::string::npos) {
+      send_response(fd, "431 Request Header Fields Too Large", "text/plain",
+                    "request too large\n");
+      ::close(fd);
+      continue;
+    }
+    const RequestLine request = parse_request_line(raw);
     route_counter(request.path).inc();
 
     if (request.method != "GET") {

@@ -40,6 +40,18 @@ struct ScrapeServerOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 picks an ephemeral port; read it back with port() after start().
   std::uint16_t port = 0;
+  /// Per-connection socket timeouts: a client that stops reading or
+  /// writing cannot wedge the accept thread past these.
+  int read_timeout_ms = 2000;
+  int write_timeout_ms = 2000;
+  /// Requests larger than this (without a complete header block) are
+  /// answered 431 and closed instead of buffered without bound.
+  std::size_t max_request_bytes = 8 * 1024;
+  /// bind() attempts beyond the first, with exponential backoff starting
+  /// at bind_retry_initial_ms (doubling, capped at 2 s per wait). Lets a
+  /// restarted worker reclaim a port still held by its dead predecessor.
+  int bind_retries = 0;
+  int bind_retry_initial_ms = 100;
 };
 
 /// Verdict of an installed health check (see set_health_check()).

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 #include "core_test_util.hpp"
@@ -156,6 +157,99 @@ TEST(Serialize, FileRoundTrip) {
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_pipeline_file("/nonexistent/dir/model.txt"),
                std::runtime_error);
+}
+
+TEST(Serialize, EmptyFileHasDistinctMessage) {
+  const std::string path = ::testing::TempDir() + "/appclass_empty.txt";
+  { std::ofstream out(path); }
+  try {
+    load_pipeline_file(path);
+    FAIL() << "empty file must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("empty model file"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncationInsideChecksumFooterIsDistinct) {
+  // Cut mid-footer: the "checksum " tag survives but only part of the
+  // digest does — a different failure than a missing footer, and it must
+  // say so instead of hashing garbage.
+  std::string text = save_pipeline(trained());
+  const auto footer = text.rfind("checksum ");
+  ASSERT_NE(footer, std::string::npos);
+  text.resize(footer + 9 + 7);  // 7 of the 16 digest characters
+  try {
+    load_pipeline(text);
+    FAIL() << "footer-truncated file must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated checksum footer"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, ValidChecksumWithUnknownFutureSectionIsRejected) {
+  // A file written by a newer format revision: extra section appended
+  // before the footer, checksum recomputed so it validates. The loader
+  // must refuse the unknown section rather than silently ignore state it
+  // does not understand.
+  std::string text = save_pipeline(trained());
+  const auto footer = text.rfind("checksum ");
+  ASSERT_NE(footer, std::string::npos);
+  std::string body =
+      text.substr(0, footer) + "novelty-ensemble 3 0.5 0.25 0.125\n";
+  // Recompute the footer exactly as the writer does: FNV-1a-64 over the
+  // body up to and including the "checksum " tag.
+  body.append("checksum ");
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const std::string_view hashed(body.data(), body.size() - 9);
+  for (const char c : hashed) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string digest(16, '0');
+  for (int i = 15; i >= 0; --i, hash >>= 4)
+    digest[static_cast<std::size_t>(i)] = kDigits[hash & 0xf];
+  body += digest;
+  body += '\n';
+  try {
+    load_pipeline(body);
+    FAIL() << "unknown future section must not load silently";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown section"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("novelty-ensemble"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, SaveIsAtomicNoTempLeftBehind) {
+  const std::string path = ::testing::TempDir() + "/appclass_atomic.txt";
+  save_pipeline_file(trained(), path);
+  std::ifstream check(path + ".tmp");
+  EXPECT_FALSE(check.good());  // temp was renamed over the target
+  const ClassificationPipeline restored = load_pipeline_file(path);
+  EXPECT_TRUE(restored.trained());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SaveFailureCarriesPathAndErrnoContext) {
+  try {
+    save_pipeline_file(trained(), "/nonexistent/dir/model.txt");
+    FAIL() << "unwritable path must not succeed";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("/nonexistent/dir/model.txt"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("No such file or directory"), std::string::npos)
+        << what;
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -243,6 +244,49 @@ TEST(ObsScrapeLifecycle, StopIsIdempotentAndPortIsReusable) {
   obs::ScrapeServer second({.bind_address = "127.0.0.1", .port = port});
   EXPECT_TRUE(second.start());
   second.stop();
+}
+
+TEST(ObsScrapeHardening, OversizedRequestIsRefusedWith431) {
+  obs::ScrapeServer server({.max_request_bytes = 512});
+  ASSERT_TRUE(server.start());
+  // Header stream that never completes: longer than the cap with no
+  // terminating CRLFCRLF until far past it.
+  std::string huge_header = "GET /metrics HTTP/1.1\r\nX-Padding: ";
+  huge_header.append(2048, 'x');
+  const std::string response = http_request(server.port(), huge_header);
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+  server.stop();
+
+  // A normal-size request against the same cap still succeeds.
+  obs::ScrapeServer ok({.max_request_bytes = 512});
+  ASSERT_TRUE(ok.start());
+  const std::string healthz = http_request(ok.port(), "GET /healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  ok.stop();
+}
+
+TEST(ObsScrapeHardening, BindRetryClaimsPortReleasedDuringBackoff) {
+  obs::ScrapeServer holder;
+  ASSERT_TRUE(holder.start());
+  const std::uint16_t port = holder.port();
+
+  // Without retries the occupied port is an immediate failure.
+  obs::ScrapeServer impatient({.bind_address = "127.0.0.1", .port = port});
+  EXPECT_FALSE(impatient.start());
+
+  // With retries, the port freeing up mid-backoff lets start() succeed —
+  // the restarted-worker-reclaims-port scenario.
+  std::thread releaser([&holder] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    holder.stop();
+  });
+  obs::ScrapeServer patient({.bind_address = "127.0.0.1",
+                             .port = port,
+                             .bind_retries = 8,
+                             .bind_retry_initial_ms = 25});
+  EXPECT_TRUE(patient.start());
+  releaser.join();
+  patient.stop();
 }
 
 }  // namespace

@@ -1,0 +1,148 @@
+// Process supervision: restart-until-healthy, restart-ordinal propagation
+// through the environment, crash-loop detection, and clean-exit
+// passthrough — all with real fork()ed workers.
+#include "persist/supervisor.hpp"
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace appclass::persist {
+namespace {
+
+/// Fast knobs: backoffs in the milliseconds, loop window generous enough
+/// that every scripted failure lands inside it.
+SupervisorOptions fast_options() {
+  SupervisorOptions options;
+  options.backoff_initial_s = 0.01;
+  options.backoff_max_s = 0.05;
+  options.crash_loop_threshold = 3;
+  options.crash_loop_window_s = 30.0;
+  options.stable_s = 60.0;  // nothing here runs long enough to "stabilize"
+  options.term_grace_s = 5.0;
+  return options;
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/appclass_super_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Scratch file the forked workers communicate through (the worker
+  /// lambda runs in a child process — memory writes do not come back).
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  int count_lines(const std::string& name) const {
+    std::ifstream in(path(name));
+    int lines = 0;
+    std::string line;
+    while (std::getline(in, line)) ++lines;
+    return lines;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SupervisorTest, CleanExitEndsSupervisionWithoutRestart) {
+  Supervisor supervisor(fast_options());
+  const SupervisorResult result = supervisor.run([] { return 0; });
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.restarts, 0u);
+  EXPECT_FALSE(result.crash_loop);
+  EXPECT_FALSE(result.terminated);
+}
+
+TEST_F(SupervisorTest, RestartsCrashingWorkerUntilItSucceeds) {
+  const std::string attempts = path("attempts");
+  Supervisor supervisor(fast_options());
+  const SupervisorResult result = supervisor.run([&] {
+    // Append one line per attempt; fail the first two runs, then succeed.
+    std::ofstream(attempts, std::ios::app) << "run\n";
+    std::ifstream in(attempts);
+    int runs = 0;
+    std::string line;
+    while (std::getline(in, line)) ++runs;
+    return runs < 3 ? 7 : 0;
+  });
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.restarts, 2u);
+  EXPECT_FALSE(result.crash_loop);
+  EXPECT_EQ(count_lines("attempts"), 3);
+}
+
+TEST_F(SupervisorTest, RestartOrdinalReachesWorkerEnvironment) {
+  const std::string ordinals = path("ordinals");
+  Supervisor supervisor(fast_options());
+  supervisor.run([&] {
+    const char* env = std::getenv(kRestartsEnvVar);
+    std::ofstream(ordinals, std::ios::app)
+        << (env != nullptr ? env : "unset") << "\n";
+    return count_lines("ordinals") < 2 ? 9 : 0;
+  });
+  std::ifstream in(ordinals);
+  std::string first, second;
+  std::getline(in, first);
+  std::getline(in, second);
+  EXPECT_EQ(first, "0");
+  EXPECT_EQ(second, "1");
+}
+
+TEST_F(SupervisorTest, WorkerDeathBySignalIsRestartedToo) {
+  const std::string attempts = path("attempts");
+  Supervisor supervisor(fast_options());
+  const SupervisorResult result = supervisor.run([&] {
+    std::ofstream(attempts, std::ios::app) << "run\n";
+    if (count_lines("attempts") < 2) {
+      std::raise(SIGKILL);  // the chaos case: the worker just vanishes
+    }
+    return 0;
+  });
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.restarts, 1u);
+  EXPECT_EQ(count_lines("attempts"), 2);
+}
+
+TEST_F(SupervisorTest, PersistentCrashTripsTheLoopDetector) {
+  Supervisor supervisor(fast_options());
+  const SupervisorResult result = supervisor.run([] { return 5; });
+  EXPECT_TRUE(result.crash_loop);
+  EXPECT_EQ(result.exit_code, 5);
+  // threshold failures, the first of which was the initial run.
+  EXPECT_EQ(result.restarts, 2u);
+}
+
+TEST_F(SupervisorTest, SigtermDuringRunEndsSupervisionAsTerminated) {
+  // The worker loops "forever"; a SIGTERM raised at the supervisor must
+  // be forwarded (default disposition kills the child) and reported as a
+  // termination, not a crash.
+  SupervisorOptions options = fast_options();
+  std::thread killer([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    ::kill(::getpid(), SIGTERM);
+  });
+  Supervisor supervisor(options);
+  const SupervisorResult result = supervisor.run([] {
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return 0;
+  });
+  killer.join();
+  EXPECT_TRUE(result.terminated);
+  EXPECT_FALSE(result.crash_loop);
+  EXPECT_EQ(result.exit_code, 128 + SIGTERM);
+}
+
+}  // namespace
+}  // namespace appclass::persist
