@@ -105,47 +105,4 @@ QueryResult KnnClassifier::query(std::span<const double> point,
   return out;
 }
 
-ApplicationClass KnnClassifier::classify(std::span<const double> point) const {
-  // Allocation-free hot path for the online classifier: straight to the
-  // kernel, no QueryResult materialized.
-  APPCLASS_EXPECTS(trained());
-  APPCLASS_EXPECTS(point.size() == points_.cols());
-  thread_local engine::BlockedKnnIndex::Scratch scratch;
-  return index_.vote(index_.top_k(point, scratch)).label;
-}
-
-KnnClassifier::Labeled KnnClassifier::classify_with_confidence(
-    std::span<const double> point) const {
-  APPCLASS_EXPECTS(trained());
-  APPCLASS_EXPECTS(point.size() == points_.cols());
-  thread_local engine::BlockedKnnIndex::Scratch scratch;
-  const auto vote = index_.vote(index_.top_k(point, scratch));
-  return Labeled{vote.label, vote.share};
-}
-
-std::vector<ApplicationClass> KnnClassifier::classify(
-    const linalg::Matrix& points) const {
-  return query(points).labels;
-}
-
-std::vector<std::size_t> KnnClassifier::nearest(
-    std::span<const double> point) const {
-  APPCLASS_EXPECTS(trained());
-  APPCLASS_EXPECTS(point.size() == points_.cols());
-  thread_local engine::BlockedKnnIndex::Scratch scratch;
-  const auto hits = index_.top_k(point, scratch);
-  std::vector<std::size_t> out(hits.size());
-  for (std::size_t i = 0; i < hits.size(); ++i) out[i] = hits[i].index;
-  return out;
-}
-
-double KnnClassifier::nearest_distance(std::span<const double> point) const {
-  APPCLASS_EXPECTS(trained());
-  APPCLASS_EXPECTS(point.size() == points_.cols());
-  if (options_.metric != DistanceMetric::kEuclidean)
-    return euclidean_novelty(points_, point);
-  thread_local engine::BlockedKnnIndex::Scratch scratch;
-  return std::sqrt(index_.nearest_distance(point, scratch));
-}
-
 }  // namespace appclass::core

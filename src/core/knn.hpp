@@ -10,9 +10,8 @@
 // builds the SoA index, and the single canonical entry point
 // `query(points, QueryOptions)` answers every question (labels, vote
 // shares, neighbor indices, novelty distances) in one pass. The legacy
-// entry points — classify(span), classify_with_confidence,
-// classify(Matrix), nearest, nearest_distance — survive as thin
-// deprecated wrappers over query(); new code should not use them.
+// per-question entry points (classify, classify_with_confidence, nearest,
+// nearest_distance) have been removed; query() is the only query surface.
 #pragma once
 
 #include <cstddef>
@@ -101,29 +100,6 @@ class KnnClassifier {
                   std::size_t end, const QueryOptions& options,
                   QueryResult& out,
                   engine::BlockedKnnIndex::Scratch& scratch) const;
-
-  /// A label together with the share of the k votes it received.
-  struct Labeled {
-    ApplicationClass label = ApplicationClass::kIdle;
-    double confidence = 0.0;
-  };
-
-  /// Deprecated: use query(point). Classifies one query point.
-  ApplicationClass classify(std::span<const double> point) const;
-
-  /// Deprecated: use query(point, {.vote_shares = true}).
-  Labeled classify_with_confidence(std::span<const double> point) const;
-
-  /// Deprecated: use query(points). Classifies every row of `points`.
-  std::vector<ApplicationClass> classify(const linalg::Matrix& points) const;
-
-  /// Deprecated: use query(point, {.neighbors = true}). The k nearest
-  /// training indices for a query, nearest first.
-  std::vector<std::size_t> nearest(std::span<const double> point) const;
-
-  /// Deprecated: use query(point, {.novelty = true}). Euclidean distance
-  /// from a query to its single nearest training point.
-  double nearest_distance(std::span<const double> point) const;
 
   const linalg::Matrix& training_points() const noexcept { return points_; }
   std::span<const ApplicationClass> training_labels() const noexcept {

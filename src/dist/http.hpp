@@ -1,0 +1,25 @@
+// Minimal blocking HTTP GET client for coordinator-side merges.
+//
+// The coordinator aggregates worker state by scraping the workers' own
+// ScrapeServer routes (/composition, /shard/classes, /appdb, /replay) —
+// the same read-only surface operators curl. One short-lived connection
+// per request, hard read/write timeouts, no keep-alive: merge traffic is
+// a handful of tiny requests per scrape, so the simplest correct client
+// wins (the mirror image of obs/scrape.hpp's deliberately non-framework
+// server).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace appclass::dist {
+
+/// Fetches http://host:port/path and returns the response body on a 200,
+/// nullopt on connect/timeout/protocol failure or any other status.
+std::optional<std::string> http_get(const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& path,
+                                    int timeout_ms = 2000);
+
+}  // namespace appclass::dist

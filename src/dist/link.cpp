@@ -1,0 +1,219 @@
+#include "dist/link.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "dist/wire.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace appclass::dist {
+
+namespace {
+
+timeval to_timeval(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  return tv;
+}
+
+}  // namespace
+
+WorkerLink::WorkerLink(std::string host, std::uint16_t port,
+                       WorkerLinkOptions options)
+    : host_(std::move(host)), port_(port), options_(std::move(options)) {}
+
+WorkerLink::~WorkerLink() { disconnect(); }
+
+bool WorkerLink::stop_requested() const {
+  return options_.should_stop && options_.should_stop();
+}
+
+void WorkerLink::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ack_buffer_.clear();
+}
+
+bool WorkerLink::ensure_connected() {
+  if (fd_ >= 0) return true;
+  int backoff_ms = options_.backoff_initial_ms;
+  bool first_attempt = true;
+  while (!stop_requested()) {
+    if (!first_attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+    }
+    first_attempt = false;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) continue;
+    const timeval tv = to_timeval(options_.io_timeout_ms);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(fd);
+      continue;
+    }
+
+    // The hello is the worker's durable horizon; everything the resume
+    // logic needs arrives in this one message.
+    std::uint8_t raw[kHelloBytes];
+    std::size_t got = 0;
+    bool ok = true;
+    while (got < kHelloBytes) {
+      const ssize_t n = ::recv(fd, raw + got, kHelloBytes - got, 0);
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    Hello hello;
+    if (!ok || decode_hello({raw, kHelloBytes}, hello) != DecodeStatus::kOk) {
+      ::close(fd);
+      continue;
+    }
+
+    fd_ = fd;
+    if (!seq_adopted_) {
+      // First contact: a worker resuming from its state dir starts
+      // mid-sequence; number our frames from its horizon.
+      next_seq_ = hello.wal_next;
+      seq_adopted_ = true;
+    } else {
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global()
+          .counter("appclass_dist_link_reconnects_total")
+          .inc();
+      // Frames below the horizon were durable before the crash: retire
+      // them as acked. Resend the rest in order on the new connection.
+      while (!unacked_.empty() && unacked_.front().seq < hello.wal_next) {
+        acked_.fetch_add(1, std::memory_order_relaxed);
+        unacked_.pop_front();
+      }
+      if (hello.wal_next > next_seq_)
+        APPCLASS_LOG_WARN("dist.link_horizon_ahead", {"port", port_},
+                          {"hello", hello.wal_next}, {"next", next_seq_});
+      bool resent_ok = true;
+      for (const Pending& pending : unacked_) {
+        if (!write_bytes(pending.bytes)) {
+          resent_ok = false;
+          break;
+        }
+      }
+      if (!resent_ok) {
+        disconnect();
+        continue;
+      }
+      APPCLASS_LOG_INFO("dist.link_resumed", {"port", port_},
+                        {"horizon", hello.wal_next},
+                        {"resent", unacked_.size()});
+    }
+    return true;
+  }
+  return false;
+}
+
+bool WorkerLink::write_bytes(const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void WorkerLink::apply_ack(std::uint64_t seq) {
+  // Acks are cumulative: seq and everything below is durable.
+  while (!unacked_.empty() && unacked_.front().seq <= seq) {
+    acked_.fetch_add(1, std::memory_order_relaxed);
+    unacked_.pop_front();
+  }
+}
+
+bool WorkerLink::drain_acks(bool block) {
+  std::uint8_t buffer[1024];
+  for (;;) {
+    const ssize_t n =
+        ::recv(fd_, buffer, sizeof buffer, block ? 0 : MSG_DONTWAIT);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Non-blocking pass with nothing pending is fine; a blocking wait
+      // timing out means the worker stalled — reconnect and resend.
+      return !block;
+    }
+    if (n <= 0) return false;
+    ack_buffer_.insert(ack_buffer_.end(), buffer, buffer + n);
+    while (ack_buffer_.size() >= kAckBytes) {
+      std::uint64_t seq = 0;
+      if (decode_ack({ack_buffer_.data(), kAckBytes}, seq) !=
+          DecodeStatus::kOk)
+        return false;
+      apply_ack(seq);
+      ack_buffer_.erase(ack_buffer_.begin(),
+                        ack_buffer_.begin() + kAckBytes);
+    }
+    if (block) return true;  // got at least one read; caller re-checks
+  }
+}
+
+bool WorkerLink::send(const metrics::Snapshot& snapshot,
+                      const obs::TraceContext& trace) {
+  for (;;) {
+    if (stop_requested()) return false;
+    if (!ensure_connected()) return false;
+    // Window full: wait for acks before adding more in-flight data.
+    if (unacked_.size() >= options_.window) {
+      if (!drain_acks(/*block=*/true)) disconnect();
+      continue;
+    }
+    break;
+  }
+
+  Pending pending{next_seq_, encode_frame(snapshot, next_seq_, trace)};
+  ++next_seq_;
+  unacked_.push_back(std::move(pending));
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::global()
+      .counter("appclass_dist_link_sent_total")
+      .inc();
+
+  if (!write_bytes(unacked_.back().bytes)) disconnect();
+  // Opportunistically retire acks so the window rarely fills.
+  if (fd_ >= 0 && !drain_acks(/*block=*/false)) disconnect();
+  // A write/read failure leaves the frame in unacked_; the reconnect on
+  // the next call resends it. The frame is committed either way.
+  return true;
+}
+
+bool WorkerLink::flush() {
+  while (!unacked_.empty()) {
+    if (stop_requested()) return false;
+    if (!ensure_connected()) return false;
+    if (!drain_acks(/*block=*/true)) disconnect();
+  }
+  return true;
+}
+
+}  // namespace appclass::dist

@@ -1,0 +1,43 @@
+// Consistent-hash sharding of monitored node IPs across workers.
+//
+// Classic hash ring with virtual nodes: each shard owns `virtual_nodes`
+// points on a 64-bit ring (FNV-1a-64 of "shard-<i>-vnode-<v>"), and a
+// node ip maps to the shard owning the first ring point at or after the
+// ip's hash. Properties the serving layer relies on:
+//
+//   * deterministic across processes and platforms — the hash is our own
+//     FNV-1a-64, never std::hash, so the coordinator and any diagnostic
+//     tool agree on placement without talking to each other;
+//   * stable under fleet growth — adding one shard remaps only the keys
+//     whose ring successor changed (~1/(n+1) of them), unlike modular
+//     hashing which reshuffles nearly everything (docs/serving.md covers
+//     the rebalancing caveat: remapped nodes still carry their window
+//     state on the *old* shard; plan a drain or accept a window restart).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace appclass::dist {
+
+class ShardMap {
+ public:
+  /// `shards` must be >= 1. More virtual nodes = smoother balance at
+  /// slightly larger construction cost; 64 keeps the spread within a few
+  /// percent for small fleets.
+  explicit ShardMap(std::size_t shards, std::size_t virtual_nodes = 64);
+
+  /// The shard index in [0, shards()) owning `node_ip`.
+  std::size_t shard_for(std::string_view node_ip) const noexcept;
+
+  std::size_t shards() const noexcept { return shards_; }
+
+ private:
+  std::size_t shards_;
+  /// (ring position, shard index), sorted by position.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+}  // namespace appclass::dist

@@ -194,6 +194,14 @@ std::string ModelHealth::classes_json() const {
   return out.str();
 }
 
+std::vector<std::uint64_t> ModelHealth::class_sample_counts() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::uint64_t> out;
+  out.reserve(classes_.size());
+  for (const ClassStats& cls : classes_) out.push_back(cls.samples);
+  return out;
+}
+
 void ModelHealth::append_node_json(std::ostream& out,
                                    const std::string& name,
                                    const NodeStats& node) const {

@@ -110,6 +110,10 @@ class ModelHealth {
 
   std::uint64_t samples() const;
   std::uint64_t abstained() const;
+  /// Per-class sample counts in class-index order (the order of
+  /// options.class_names) — the distilled numbers a shard worker exposes
+  /// for the coordinator's merged /classes view.
+  std::vector<std::uint64_t> class_sample_counts() const;
   std::uint64_t drift_events() const;
   /// Fraction of the last `novel_window` samples flagged novel.
   double novel_fraction() const;

@@ -1,0 +1,288 @@
+// Ingest-listener tests: a real two-process socket loopback proving WAL
+// log order == send order, exactly-once resume across a second sender
+// process, and the protocol edges (duplicate re-ack, sequence gap,
+// off-grid frame) driven by a raw in-process client.
+#include "dist/ingest.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dist/link.hpp"
+#include "dist/wire.hpp"
+#include "persist/wal.hpp"
+
+namespace appclass::dist {
+namespace {
+
+metrics::Snapshot grid_snapshot(std::uint64_t i) {
+  metrics::Snapshot s;
+  s.time = static_cast<metrics::SimTime>(5 * (i + 1));  // on the 5s grid
+  s.node_ip = "10.0." + std::to_string(i % 3) + ".1";
+  s.set(metrics::MetricId::kCpuUser, static_cast<double>(i));
+  return s;
+}
+
+void wait_for(const std::function<bool()>& done) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!done()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "timed out";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+/// Forks a sender process that ships snapshots [first, first+count) over
+/// a fresh WorkerLink and exits 0 only after every frame is acked.
+void run_sender_process(std::uint16_t port, std::uint64_t first,
+                        std::uint64_t count) {
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: no gtest machinery, just send + flush + exit.
+    WorkerLink link("127.0.0.1", port);
+    for (std::uint64_t i = 0; i < count; ++i)
+      if (!link.send(grid_snapshot(first + i), {})) ::_exit(2);
+    ::_exit(link.flush() ? 0 : 3);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(DistIngest, TwoProcessLoopbackLogOrderEqualsSendOrder) {
+  char tmpl[] = "/tmp/appclass_dist_ingest_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  constexpr std::uint64_t kFrames = 40;
+  {
+    persist::WalWriter wal(dir + "/wal",
+                           {.fsync = persist::FsyncPolicy::kAlways}, 0);
+    std::mutex wal_mutex;
+    IngestListener listener(
+        {.port = 0, .sampling_interval_s = 5},
+        [&](const metrics::Snapshot& snapshot) {
+          const std::lock_guard lock(wal_mutex);
+          wal.append(snapshot);
+          return true;
+        },
+        0);
+    ASSERT_TRUE(listener.start());
+
+    // First sender: frames 0..kFrames/2. Ack-gated exit means its
+    // frames are durable in our WAL before waitpid returns.
+    run_sender_process(listener.port(), 0, kFrames / 2);
+    EXPECT_EQ(listener.expected(), kFrames / 2);
+
+    // Second sender process — a brand-new link must resume from the
+    // hello horizon, not from zero, so numbering continues seamlessly.
+    run_sender_process(listener.port(), kFrames / 2, kFrames / 2);
+    wait_for([&] { return listener.expected() == kFrames; });
+    EXPECT_EQ(listener.connections(), 2u);
+    EXPECT_EQ(listener.protocol_errors(), 0u);
+    listener.stop();
+    wal.sync();
+  }
+
+  // The log must hold exactly the send order: seq i carries snapshot i.
+  std::vector<persist::WalRecord> records;
+  const persist::WalScan scan = persist::replay_wal(
+      dir + "/wal", 0,
+      [&](const persist::WalRecord& r) { records.push_back(r); });
+  EXPECT_FALSE(scan.truncated_tail);
+  ASSERT_EQ(records.size(), kFrames);
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(records[i].seq, i);
+    EXPECT_EQ(records[i].snapshot.time, grid_snapshot(i).time);
+    EXPECT_EQ(records[i].snapshot.node_ip, grid_snapshot(i).node_ip);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+/// Raw blocking client for protocol-edge tests: speaks the wire format
+/// directly so it can violate the contract on purpose.
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool read_exact(std::uint8_t* out, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+      if (r <= 0) return false;
+      got += static_cast<std::size_t>(r);
+    }
+    return true;
+  }
+
+  bool write_all(const std::vector<std::uint8_t>& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t r =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (r <= 0) return false;
+      sent += static_cast<std::size_t>(r);
+    }
+    return true;
+  }
+
+  std::optional<Hello> read_hello() {
+    std::uint8_t raw[kHelloBytes];
+    Hello hello;
+    if (!read_exact(raw, kHelloBytes) ||
+        decode_hello({raw, kHelloBytes}, hello) != DecodeStatus::kOk)
+      return std::nullopt;
+    return hello;
+  }
+
+  std::optional<std::uint64_t> read_ack() {
+    std::uint8_t raw[kAckBytes];
+    std::uint64_t seq = 0;
+    if (!read_exact(raw, kAckBytes) ||
+        decode_ack({raw, kAckBytes}, seq) != DecodeStatus::kOk)
+      return std::nullopt;
+    return seq;
+  }
+
+  /// True when the peer closed the connection (EOF within the timeout).
+  bool closed_by_peer() {
+    std::uint8_t byte = 0;
+    return ::recv(fd_, &byte, 1, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST(DistIngest, DuplicateFramesAreReackedNotReingested) {
+  std::vector<metrics::Snapshot> ingested;
+  IngestListener listener(
+      {.port = 0, .sampling_interval_s = 5},
+      [&](const metrics::Snapshot& snapshot) {
+        ingested.push_back(snapshot);
+        return true;
+      },
+      0);
+  ASSERT_TRUE(listener.start());
+
+  RawClient client(listener.port());
+  ASSERT_TRUE(client.connected());
+  const auto hello = client.read_hello();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->wal_next, 0u);
+
+  ASSERT_TRUE(client.write_all(encode_frame(grid_snapshot(0), 0, {})));
+  EXPECT_EQ(client.read_ack(), std::optional<std::uint64_t>(0));
+  // Retransmit of seq 0 (as after a lost ack): re-acked, not re-ingested.
+  ASSERT_TRUE(client.write_all(encode_frame(grid_snapshot(0), 0, {})));
+  EXPECT_EQ(client.read_ack(), std::optional<std::uint64_t>(0));
+  ASSERT_TRUE(client.write_all(encode_frame(grid_snapshot(1), 1, {})));
+  EXPECT_EQ(client.read_ack(), std::optional<std::uint64_t>(1));
+
+  listener.stop();
+  EXPECT_EQ(ingested.size(), 2u);
+  EXPECT_EQ(listener.duplicates(), 1u);
+  EXPECT_EQ(listener.expected(), 2u);
+}
+
+TEST(DistIngest, SequenceGapClosesTheConnection) {
+  IngestListener listener(
+      {.port = 0, .sampling_interval_s = 5},
+      [](const metrics::Snapshot&) { return true; }, 0);
+  ASSERT_TRUE(listener.start());
+
+  RawClient client(listener.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.read_hello().has_value());
+  // seq 3 while the listener expects 0: unackable, must disconnect.
+  ASSERT_TRUE(client.write_all(encode_frame(grid_snapshot(3), 3, {})));
+  EXPECT_TRUE(client.closed_by_peer());
+  listener.stop();
+  EXPECT_EQ(listener.protocol_errors(), 1u);
+  EXPECT_EQ(listener.expected(), 0u);
+}
+
+TEST(DistIngest, OffGridFrameClosesTheConnection) {
+  IngestListener listener(
+      {.port = 0, .sampling_interval_s = 5},
+      [](const metrics::Snapshot&) { return true; }, 0);
+  ASSERT_TRUE(listener.start());
+
+  RawClient client(listener.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.read_hello().has_value());
+  metrics::Snapshot off_grid = grid_snapshot(0);
+  off_grid.time = 7;  // violates the coordinator's grid-filter contract
+  ASSERT_TRUE(client.write_all(encode_frame(off_grid, 0, {})));
+  EXPECT_TRUE(client.closed_by_peer());
+  listener.stop();
+  EXPECT_EQ(listener.protocol_errors(), 1u);
+  EXPECT_EQ(listener.expected(), 0u);
+}
+
+TEST(DistIngest, RejectedSinkClosesUnackedForResend) {
+  // A backlog-full sink (push returned false) must close the connection
+  // without acking or advancing, so the coordinator resends.
+  std::size_t calls = 0;
+  IngestListener listener(
+      {.port = 0, .sampling_interval_s = 5},
+      [&](const metrics::Snapshot&) {
+        ++calls;
+        return false;
+      },
+      0);
+  ASSERT_TRUE(listener.start());
+
+  RawClient client(listener.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.read_hello().has_value());
+  ASSERT_TRUE(client.write_all(encode_frame(grid_snapshot(0), 0, {})));
+  EXPECT_TRUE(client.closed_by_peer());
+  listener.stop();
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(listener.expected(), 0u);
+}
+
+TEST(DistIngest, HelloAdvertisesTheRecoveredHorizon) {
+  // A listener started at a recovered WAL horizon tells the coordinator
+  // to resume from there.
+  IngestListener listener(
+      {.port = 0, .sampling_interval_s = 5},
+      [](const metrics::Snapshot&) { return true; }, 17);
+  ASSERT_TRUE(listener.start());
+  RawClient client(listener.port());
+  ASSERT_TRUE(client.connected());
+  const auto hello = client.read_hello();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->wal_next, 17u);
+  listener.stop();
+}
+
+}  // namespace
+}  // namespace appclass::dist

@@ -27,16 +27,20 @@
 //       Sweep monitoring-fault kinds x rates over the five canonical
 //       workloads and write the accuracy-degradation curve as CSV
 //       (docs/robustness.md).
-//   appclass_cli serve <model.txt> [--port=N] [--duration=S]
+//   appclass_cli serve <model.txt> [--mode=single|worker|coordinator]
+//                      [--port=N] [--duration=S] [--cycles=N]
 //                      [--drift-window=N] [--state-dir=D] [--fsync=P]
 //                      [--sync-every=N] [--checkpoint-every=N]
-//                      [--max-backlog=N] [--supervised]
-//       Load a model, replay the five canonical workload streams through a
-//       FleetStream with a model-health aggregator attached, and expose
+//                      [--max-backlog=N] [--supervised] [--ingest-port=N]
+//                      [--workers=SCRAPE:INGEST,...]
+//       The unified serving surface (src/dist/serving.hpp). The default
+//       --mode=single replays the five canonical workload streams through
+//       a FleetStream with a model-health aggregator attached and exposes
 //       /metrics, /healthz, /traces/recent plus the JSON scorecards
-//       /classes, /drift, and /nodes on an HTTP scrape endpoint until
-//       --duration seconds pass (0 = forever). /healthz turns 503 with a
-//       JSON reason while any node's classifier is degraded.
+//       /classes, /drift, /nodes (and /composition, /appdb, /replay) on
+//       an HTTP scrape endpoint until --duration seconds pass (0 =
+//       forever) or --cycles replay cycles complete. /healthz turns 503
+//       with a JSON reason while any node's classifier is degraded.
 //       --drift-window sizes the drift detector's sliding window.
 //       --state-dir enables crash-safe serving: ingested snapshots are
 //       write-ahead logged (fsync policy --fsync=always|interval|never,
@@ -47,6 +51,12 @@
 //       drain, flush the WAL, write a final checkpoint, exit 0.
 //       --supervised forks the worker under a watchdog that restarts it
 //       on crashes with exponential backoff and crash-loop detection.
+//       --mode=worker serves one shard: snapshots arrive as checksummed
+//       frames on --ingest-port instead of the local replay, acked only
+//       after the WAL append. --mode=coordinator shards the replay by
+//       node ip across --workers=SCRAPE:INGEST[,...] endpoints and
+//       serves the merged fleet view (/composition, /classes, /appdb,
+//       /workers, /replay); see docs/serving.md for topology recipes.
 //   appclass_cli trace dump <model.txt> <pool.csv> <out.json>
 //       Classify a pool with tracing enabled and dump the flight
 //       recorder's Chrome trace JSON (Perfetto-loadable) to out.json.
@@ -70,12 +80,9 @@
 //   --flight-dump=<path>
 //       Install crash handlers (SIGSEGV/SIGBUS/SIGABRT) that dump the
 //       flight recorder to <path> post mortem.
-#include <sys/stat.h>
-
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,19 +96,13 @@
 
 #include "core/feature_selection.hpp"
 #include "core/robustness.hpp"
-#include "engine/fleet.hpp"
-#include "monitor/bus.hpp"
+#include "dist/serving.hpp"
 #include "obs/export.hpp"
 #include "obs/health.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
-#include "obs/scrape.hpp"
 #include "obs/trace.hpp"
-#include "persist/checkpoint.hpp"
-#include "persist/recovery.hpp"
-#include "persist/supervisor.hpp"
-#include "persist/wal.hpp"
 #include "workloads/trace_replay.hpp"
 #include "core/serialize.hpp"
 #include "core/trainer.hpp"
@@ -130,12 +131,14 @@ int usage() {
                "  trace-replay <trace.csv> <pool.csv>\n"
                "  chaos <out.csv> [--rates=0,0.1,...] [--kinds=drop,...]"
                " [--no-sanitize] [--seed=N]\n"
-               "  serve <model.txt> [--port=N] [--duration=S]"
-               " [--drift-window=N]\n"
-               "        [--state-dir=D] [--fsync=always|interval|never]"
-               " [--sync-every=N]\n"
+               "  serve <model.txt> [--mode=single|worker|coordinator]"
+               " [--port=N]\n"
+               "        [--duration=S] [--cycles=N] [--drift-window=N]"
+               " [--state-dir=D]\n"
+               "        [--fsync=always|interval|never] [--sync-every=N]\n"
                "        [--checkpoint-every=N] [--max-backlog=N]"
                " [--supervised]\n"
+               "        [--ingest-port=N] [--workers=SCRAPE:INGEST,...]\n"
                "  trace dump <model.txt> <pool.csv> <out.json>\n"
                "flags:\n"
                "  --log-level=<trace|debug|info|warn|error|off>  stderr "
@@ -413,281 +416,17 @@ int cmd_chaos(const std::string& out_path,
   return 0;
 }
 
-struct ServeConfig {
-  std::string model_path;
-  long long port = 9464;
-  long long duration_s = 0;     // 0 = run until terminated
-  long long drift_window = 0;   // 0 = DriftOptions default
-  /// Empty disables persistence; otherwise the crash-safety state
-  /// directory (<dir>/wal + <dir>/checkpoints).
-  std::string state_dir;
-  persist::WalOptions wal;
-  /// Non-empty drains between automatic checkpoints.
-  long long checkpoint_every = 16;
-  /// FleetStream buffer bound (0 = unbounded).
-  long long max_backlog = 0;
-  bool supervised = false;
-};
-
-/// Graceful-shutdown request flag, set by SIGTERM/SIGINT. The serve loop
-/// polls it every iteration; shutdown then drains, flushes the WAL,
-/// writes a final checkpoint, and exits 0 (so a supervisor treating the
-/// forwarded SIGTERM as "please stop" sees a clean exit, not a crash).
-volatile std::sig_atomic_t g_serve_stop = 0;
-
-void handle_serve_signal(int) { g_serve_stop = 1; }
-
-int serve_worker(const ServeConfig& config) {
-  g_serve_stop = 0;
-  std::signal(SIGTERM, handle_serve_signal);
-  std::signal(SIGINT, handle_serve_signal);
-
-  // Under --supervised the watchdog's registry lives in another process;
-  // the restart ordinal reaches the worker's /metrics via environment.
-  if (const char* env = std::getenv(persist::kRestartsEnvVar)) {
-    if (const auto ordinal = parse_int(env); ordinal && *ordinal >= 0)
-      obs::MetricsRegistry::global()
-          .gauge("appclass_supervised_restart_ordinal")
-          .set(static_cast<double>(*ordinal));
-  }
-
-  core::ClassificationPipeline pipeline =
-      core::load_pipeline_file(config.model_path);
-  pipeline.set_parallelism(g_threads);
-
-  std::printf("recording canonical workload streams for replay...\n");
-  std::fflush(stdout);
-  const auto runs = core::record_canonical_runs();
-
-  monitor::MetricBus bus;
-  engine::FleetStream stream(pipeline, {},
-                             static_cast<std::size_t>(config.max_backlog));
-
-  // Model-health aggregator: fed by every drained snapshot (the detailed
-  // classify path), read by the scorecard routes, /healthz, and the
-  // --stats-every ticker. Strictly observational — labels are identical
-  // with or without it. Attached before recovery so WAL replay runs the
-  // same detailed arithmetic the live drain will.
-  obs::ModelHealth health(core::make_health_options(
-      static_cast<std::size_t>(config.drift_window)));
-  stream.online().attach_health(&health);
-  obs::ModelHealth::set_instance(&health);
-
-  // Crash safety: recover checkpoint + WAL tail, then log every accepted
-  // push (under the stream lock, so log order == ingest order) and
-  // checkpoint periodically. All of it is off unless --state-dir is set.
-  std::uint64_t recovered_wal_next = 0;
-  std::optional<persist::WalWriter> wal;
-  if (!config.state_dir.empty()) {
-    if (::mkdir(config.state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
-      std::fprintf(stderr, "serve: cannot create state dir %s: %s\n",
-                   config.state_dir.c_str(), std::strerror(errno));
-      obs::ModelHealth::set_instance(nullptr);
-      return 1;
-    }
-    const persist::RecoveryReport report =
-        persist::recover(config.state_dir, pipeline, stream.online());
-    recovered_wal_next = report.wal_next_seq;
-    if (report.checkpoint_loaded || report.replayed > 0)
-      std::printf(
-          "recovered state: checkpoint %s (wal-next %llu), %llu WAL "
-          "records replayed%s in %.3fs\n",
-          report.checkpoint_loaded ? "loaded" : "absent",
-          static_cast<unsigned long long>(report.checkpoint_wal_next),
-          static_cast<unsigned long long>(report.replayed),
-          report.wal_truncated ? " (torn tail dropped)" : "",
-          report.seconds);
-    wal.emplace(config.state_dir + "/wal", config.wal, report.wal_next_seq);
-    stream.set_ingest_hook([&wal](const metrics::Snapshot& snapshot) {
-      return wal->append(snapshot);
-    });
-  }
-  stream.attach(bus);
-
-  // Checkpoint barrier: WAL synced first so the claimed horizon is
-  // durable, then the state image lands atomically, then fully-covered
-  // segments are pruned.
-  const auto write_state_checkpoint = [&] {
-    if (!wal) return;
-    wal->sync();
-    persist::CheckpointData data;
-    data.wal_next =
-        std::max(recovered_wal_next, stream.ingested_wal_horizon());
-    data.options = stream.online().options();
-    data.online = stream.online().export_state();
-    persist::write_checkpoint(config.state_dir + "/checkpoints", data);
-    if (data.wal_next > 0) wal->prune_through(data.wal_next - 1);
-  };
-
-  obs::ScrapeServer server(
-      {.bind_address = "127.0.0.1",
-       .port = static_cast<std::uint16_t>(config.port),
-       // A restarted worker may race its predecessor's dying socket.
-       .bind_retries = 4});
-  server.add_route("/classes", "application/json",
-                   [&health] { return health.classes_json(); });
-  server.add_route("/drift", "application/json",
-                   [&health] { return health.drift_json(); });
-  server.add_route("/nodes", "application/json",
-                   [&health] { return health.nodes_json(); });
-  server.set_health_check([&health] {
-    const obs::ModelHealth::Status status = health.status();
-    return obs::HealthVerdict{status.healthy, status.reason_json};
-  });
-  if (!server.start()) {
-    obs::ModelHealth::set_instance(nullptr);
-    std::fprintf(stderr, "serve: cannot bind 127.0.0.1:%lld\n", config.port);
-    return 1;
-  }
-  std::printf("serving on 127.0.0.1:%u (/metrics /healthz /traces/recent"
-              " /classes /drift /nodes)%s%s\n",
-              server.port(),
-              wal ? " with WAL + checkpoints" : "",
-              config.duration_s > 0 ? "" : "; interrupt to stop");
-  std::fflush(stdout);
-
-  // Replay the recorded announcement streams cyclically through the bus;
-  // the FleetStream grid-samples, batches, and classifies them, so every
-  // scrape sees live pipeline + engine metrics (and spans when tracing).
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::seconds(config.duration_s);
-  std::size_t announced = 0;
-  std::size_t classified = 0;
-  long long drains_since_checkpoint = 0;
-  for (std::size_t cycle = 0; g_serve_stop == 0; ++cycle) {
-    for (const auto& run : runs) {
-      if (run.announcements.empty()) continue;
-      for (std::size_t n = 0; n < 32; ++n) {
-        bus.announce(
-            run.announcements[(cycle * 32 + n) % run.announcements.size()]);
-        ++announced;
-      }
-    }
-    const std::size_t drained = stream.drain();
-    classified += drained;
-    if (drained > 0 && ++drains_since_checkpoint >= config.checkpoint_every) {
-      write_state_checkpoint();
-      drains_since_checkpoint = 0;
-    }
-    if (config.duration_s > 0 &&
-        std::chrono::steady_clock::now() >= deadline)
-      break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(25));
-  }
-
-  // Graceful shutdown: stop accepting, fold in whatever is buffered,
-  // make the log durable, and leave a checkpoint covering all of it.
-  stream.detach();
-  classified += stream.drain();
-  write_state_checkpoint();
-  server.stop();
-  obs::ModelHealth::set_instance(nullptr);
-  if (g_serve_stop != 0) std::printf("shutdown signal: drained and flushed\n");
-  std::printf("served %zu announcements (%zu classified)\n", announced,
-              classified);
-  std::printf("%s\n", health.summary_line().c_str());
-  return 0;
-}
-
+/// Thin adapter over the library-level serving API: flag parsing, the
+/// run loop, the distributed modes, and the supervisor wrapper all live
+/// in serving::parse_serve_args / serving::ServeApp (src/dist). The CLI
+/// only forwards its global --threads.
 int cmd_serve(const std::string& model_path,
               const std::vector<std::string>& flags) {
-  ServeConfig config;
-  config.model_path = model_path;
-  for (const auto& flag : flags) {
-    if (flag.rfind("--drift-window=", 0) == 0) {
-      const auto parsed =
-          parse_int(flag.substr(std::strlen("--drift-window=")));
-      if (!parsed || *parsed < 0) {
-        std::fprintf(stderr, "serve: bad drift window '%s'\n",
-                     flag.substr(std::strlen("--drift-window=")).c_str());
-        return 2;
-      }
-      config.drift_window = *parsed;
-    } else if (flag.rfind("--port=", 0) == 0) {
-      const auto parsed = parse_int(flag.substr(std::strlen("--port=")));
-      if (!parsed || *parsed < 0 || *parsed > 65535) {
-        std::fprintf(stderr, "serve: bad port '%s'\n",
-                     flag.substr(std::strlen("--port=")).c_str());
-        return 2;
-      }
-      config.port = *parsed;
-    } else if (flag.rfind("--duration=", 0) == 0) {
-      const auto parsed =
-          parse_int(flag.substr(std::strlen("--duration=")));
-      if (!parsed || *parsed < 0) {
-        std::fprintf(stderr, "serve: bad duration '%s'\n",
-                     flag.substr(std::strlen("--duration=")).c_str());
-        return 2;
-      }
-      config.duration_s = *parsed;
-    } else if (flag.rfind("--state-dir=", 0) == 0) {
-      config.state_dir = flag.substr(std::strlen("--state-dir="));
-      if (config.state_dir.empty()) {
-        std::fprintf(stderr, "serve: --state-dir needs a path\n");
-        return 2;
-      }
-    } else if (flag.rfind("--fsync=", 0) == 0) {
-      const std::string name = flag.substr(std::strlen("--fsync="));
-      const auto policy = persist::fsync_policy_from_string(name);
-      if (!policy) {
-        std::fprintf(stderr,
-                     "serve: bad fsync policy '%s' (expected always, "
-                     "interval, never)\n",
-                     name.c_str());
-        return 2;
-      }
-      config.wal.fsync = *policy;
-    } else if (flag.rfind("--sync-every=", 0) == 0) {
-      const auto parsed =
-          parse_int(flag.substr(std::strlen("--sync-every=")));
-      if (!parsed || *parsed < 1) {
-        std::fprintf(stderr, "serve: bad sync interval '%s'\n",
-                     flag.substr(std::strlen("--sync-every=")).c_str());
-        return 2;
-      }
-      config.wal.sync_every = static_cast<std::size_t>(*parsed);
-    } else if (flag.rfind("--checkpoint-every=", 0) == 0) {
-      const auto parsed =
-          parse_int(flag.substr(std::strlen("--checkpoint-every=")));
-      if (!parsed || *parsed < 1) {
-        std::fprintf(stderr, "serve: bad checkpoint interval '%s'\n",
-                     flag.substr(std::strlen("--checkpoint-every=")).c_str());
-        return 2;
-      }
-      config.checkpoint_every = *parsed;
-    } else if (flag.rfind("--max-backlog=", 0) == 0) {
-      const auto parsed =
-          parse_int(flag.substr(std::strlen("--max-backlog=")));
-      if (!parsed || *parsed < 0) {
-        std::fprintf(stderr, "serve: bad backlog bound '%s'\n",
-                     flag.substr(std::strlen("--max-backlog=")).c_str());
-        return 2;
-      }
-      config.max_backlog = *parsed;
-    } else if (flag == "--supervised") {
-      config.supervised = true;
-    } else {
-      std::fprintf(stderr, "serve: unknown flag '%s'\n", flag.c_str());
-      return 2;
-    }
-  }
-
-  if (!config.supervised) return serve_worker(config);
-
-  // Everything state-dependent (model load, recovery, serving) runs in
-  // the forked child, so a poisoned state directory kills only the
-  // worker — and the crash-loop detector turns "can never come up" into
-  // a clean supervisor exit instead of an infinite restart burn.
-  persist::Supervisor supervisor;
-  const persist::SupervisorResult result =
-      supervisor.run([&config] { return serve_worker(config); });
-  std::printf("supervisor: worker exited %d after %zu restart%s%s%s\n",
-              result.exit_code, result.restarts,
-              result.restarts == 1 ? "" : "s",
-              result.crash_loop ? " (crash loop)" : "",
-              result.terminated ? " (terminated)" : "");
-  if (result.crash_loop) return 1;
-  return result.exit_code;
+  serving::ParseResult parsed = serving::parse_serve_args(model_path, flags);
+  if (!parsed.options) return parsed.exit_code;
+  parsed.options->threads = g_threads;
+  serving::ServeApp app(std::move(*parsed.options));
+  return app.run();
 }
 
 int cmd_trace_dump(const std::string& model_path,
