@@ -101,6 +101,37 @@ void OnlineClassifier::ingest(const metrics::Snapshot& snapshot,
   ingest_impl(snapshot, detail.label, &detail);
 }
 
+OnlineClassifier::NodeState& OnlineClassifier::node_state(
+    const std::string& node_ip) {
+  if (!node_index_.empty()) {
+    const std::size_t h = std::hash<std::string>{}(node_ip);
+    const std::size_t mask = node_index_.size() - 1;
+    for (std::size_t s = h & mask;; s = (s + 1) & mask) {
+      const NodeIndexSlot& slot = node_index_[s];
+      if (slot.key == nullptr) break;
+      if (slot.hash == h && *slot.key == node_ip) return *slot.state;
+    }
+  }
+  // First sighting of this node (or empty index): insert into the
+  // ordered map and refresh the flat index over it.
+  NodeState& node = nodes_.try_emplace(node_ip).first->second;
+  rebuild_node_index();
+  return node;
+}
+
+void OnlineClassifier::rebuild_node_index() {
+  std::size_t cap = 8;
+  while (cap < nodes_.size() * 2) cap <<= 1;
+  node_index_.assign(cap, NodeIndexSlot{});
+  const std::size_t mask = cap - 1;
+  for (auto& [ip, state] : nodes_) {
+    const std::size_t h = std::hash<std::string>{}(ip);
+    std::size_t s = h & mask;
+    while (node_index_[s].key != nullptr) s = (s + 1) & mask;
+    node_index_[s] = NodeIndexSlot{h, &ip, &state};
+  }
+}
+
 void OnlineClassifier::ingest_impl(const metrics::Snapshot& snapshot,
                                    ApplicationClass label,
                                    const SnapshotClassification* detail) {
@@ -109,10 +140,13 @@ void OnlineClassifier::ingest_impl(const metrics::Snapshot& snapshot,
   om.observed.inc();
   ++classified_;
 
-  NodeState& node = nodes_.try_emplace(snapshot.node_ip).first->second;
+  NodeState& node = node_state(snapshot.node_ip);
+  // +1: ingest pushes first and evicts after, so the ring momentarily
+  // holds window + 1 entries without growing.
+  node.window.ensure_capacity(options_.window + 1);
   if (node.window.empty() && !node.stable_class)
     node.first_time = snapshot.time;
-  node.window.emplace_back(snapshot.time, label);
+  node.window.push_back({snapshot.time, label});
   while (node.window.size() > options_.window) node.window.pop_front();
   refresh_window(node, snapshot.time);
 
@@ -156,10 +190,10 @@ void OnlineClassifier::ingest_impl(const metrics::Snapshot& snapshot,
 
   // Debounced dominant-class tracking: the rolling majority must differ
   // from the stable class for `stability` consecutive samples to fire.
-  std::vector<ApplicationClass> window;
-  window.reserve(node.window.size());
-  for (const auto& [t, c] : node.window) window.push_back(c);
-  const ApplicationClass dominant = majority_vote(window);
+  // The window maintains its class counts incrementally, so this is an
+  // argmax over kClassCount counters rather than a copy-and-recount of
+  // the whole window per ingest (the old hot-path cost).
+  const ApplicationClass dominant = node.window.dominant();
   if (!node.stable_class) {
     node.stable_class = dominant;
   } else if (dominant != *node.stable_class) {
@@ -194,7 +228,9 @@ OnlineStateImage OnlineClassifier::export_state() const {
   for (const auto& [ip, node] : nodes_) {
     OnlineNodeImage n;
     n.node_ip = ip;
-    n.window.assign(node.window.begin(), node.window.end());
+    n.window.reserve(node.window.size());
+    for (std::size_t i = 0; i < node.window.size(); ++i)
+      n.window.push_back(node.window.at(i));
     n.stable_class = node.stable_class;
     n.candidate = node.candidate;
     n.candidate_streak = node.candidate_streak;
@@ -211,7 +247,9 @@ void OnlineClassifier::import_state(const OnlineStateImage& image) {
   nodes_.clear();
   for (const auto& n : image.nodes) {
     NodeState node;
-    node.window.assign(n.window.begin(), n.window.end());
+    node.window.ensure_capacity(
+        std::max<std::size_t>(options_.window + 1, n.window.size()));
+    for (const auto& entry : n.window) node.window.push_back(entry);
     node.stable_class = n.stable_class;
     node.candidate = n.candidate;
     node.candidate_streak = n.candidate_streak;
@@ -219,16 +257,19 @@ void OnlineClassifier::import_state(const OnlineStateImage& image) {
     node.coverage = n.coverage;
     nodes_.emplace(n.node_ip, std::move(node));
   }
+  rebuild_node_index();
 }
 
 std::optional<ClassComposition> OnlineClassifier::composition(
     const std::string& node_ip) const {
   const auto it = nodes_.find(node_ip);
   if (it == nodes_.end() || it->second.window.empty()) return std::nullopt;
-  std::vector<ApplicationClass> window;
-  window.reserve(it->second.window.size());
-  for (const auto& [t, c] : it->second.window) window.push_back(c);
-  return ClassComposition(window);
+  const LabelWindow& window = it->second.window;
+  std::vector<ApplicationClass> labels;
+  labels.reserve(window.size());
+  for (std::size_t i = 0; i < window.size(); ++i)
+    labels.push_back(window.at(i).second);
+  return ClassComposition(labels);
 }
 
 std::optional<ApplicationClass> OnlineClassifier::current_class(

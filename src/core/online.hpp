@@ -15,12 +15,14 @@
 // voting on whatever fragments survived.
 #pragma once
 
-#include <deque>
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "obs/health.hpp"
@@ -155,8 +157,70 @@ class OnlineClassifier {
   void import_state(const OnlineStateImage& image);
 
  private:
+  /// Bounded (time, label) ring replacing the former std::deque window:
+  /// a deque allocates and frees a chunk every few dozen push/pop cycles,
+  /// which would keep the steady-state ingest path off zero allocations.
+  /// Capacity is fixed at first use (OnlineOptions::window + 1, so the
+  /// push-then-evict ingest sequence never grows it); all operations are
+  /// allocation-free afterwards.
+  class LabelWindow {
+   public:
+    using Entry = std::pair<metrics::SimTime, ApplicationClass>;
+
+    std::size_t size() const noexcept { return count_; }
+    bool empty() const noexcept { return count_ == 0; }
+    const Entry& front() const { return slots_[head_]; }
+    /// Logical indexing, 0 = oldest.
+    const Entry& at(std::size_t i) const {
+      return slots_[(head_ + i) % slots_.size()];
+    }
+
+    /// Grow-only; no-op once at least `cap` slots exist.
+    void ensure_capacity(std::size_t cap) {
+      if (slots_.size() >= cap) return;
+      std::vector<Entry> next(cap);
+      for (std::size_t i = 0; i < count_; ++i) next[i] = at(i);
+      slots_.swap(next);
+      head_ = 0;
+    }
+
+    void push_back(Entry entry) {
+      if (count_ == slots_.size()) ensure_capacity(count_ * 2 + 1);
+      slots_[(head_ + count_) % slots_.size()] = entry;
+      ++count_;
+      ++class_counts_[index_of(entry.second)];
+    }
+
+    void pop_front() {
+      --class_counts_[index_of(slots_[head_].second)];
+      head_ = (head_ + 1) % slots_.size();
+      --count_;
+    }
+
+    /// Rolling majority class of the window, maintained incrementally:
+    /// argmax over the per-class occupancy counts kept in sync by
+    /// push_back/pop_front. Strict `>` with ascending class index is
+    /// exactly majority_vote() over the window's label vector — distinct
+    /// small-integer counts divided by the same window size stay
+    /// distinct doubles, so the fraction argmax and the count argmax
+    /// pick the same class, ties included — without re-copying and
+    /// re-counting the window on every ingest. Window must be non-empty.
+    ApplicationClass dominant() const noexcept {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < kClassCount; ++c)
+        if (class_counts_[c] > class_counts_[best]) best = c;
+      return class_from_index(best);
+    }
+
+   private:
+    std::vector<Entry> slots_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::array<std::uint32_t, kClassCount> class_counts_{};
+  };
+
   struct NodeState {
-    std::deque<std::pair<metrics::SimTime, ApplicationClass>> window;
+    LabelWindow window;
     std::optional<ApplicationClass> stable_class;
     ApplicationClass candidate = ApplicationClass::kIdle;
     std::size_t candidate_streak = 0;
@@ -172,11 +236,29 @@ class OnlineClassifier {
   void ingest_impl(const metrics::Snapshot& snapshot, ApplicationClass label,
                    const SnapshotClassification* detail);
 
+  /// Hot-path node lookup: open-addressing index over nodes_ (hash +
+  /// one string compare instead of an ordered-map descent). Falls back
+  /// to the map — and rebuilds the index — only when a node is first
+  /// seen, so steady-state ingest never allocates here.
+  NodeState& node_state(const std::string& node_ip);
+  void rebuild_node_index();
+
   const ClassificationPipeline& pipeline_;
   OnlineOptions options_;
   ChangeCallback callback_;
   obs::ModelHealth* health_ = nullptr;
+  /// Ordered by node_ip: export_state()'s deterministic encoding and the
+  /// cold query paths iterate it. Node entries are pointer-stable, which
+  /// is what lets the flat index below hold raw pointers into it.
   std::map<std::string, NodeState> nodes_;
+  struct NodeIndexSlot {
+    std::size_t hash = 0;
+    const std::string* key = nullptr;
+    NodeState* state = nullptr;
+  };
+  /// Power-of-two open-addressing table over nodes_ (linear probing,
+  /// ~half empty). Rebuilt whenever the node set changes.
+  std::vector<NodeIndexSlot> node_index_;
   std::size_t classified_ = 0;
   std::size_t abstained_ = 0;
 };

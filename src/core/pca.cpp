@@ -126,13 +126,21 @@ void Pca::transform_rows(const linalg::Matrix& samples, std::size_t begin,
 
 std::vector<double> Pca::transform(std::span<const double> row) const {
   APPCLASS_EXPECTS(fitted_);
+  std::vector<double> out(projection_.cols(), 0.0);
+  transform_into(row, out.data(), 1);
+  return out;
+}
+
+void Pca::transform_into(std::span<const double> row, double* out,
+                         std::size_t stride) const {
+  APPCLASS_EXPECTS(fitted_);
   APPCLASS_EXPECTS(row.size() == projection_.rows());
   const std::size_t q = projection_.cols();
-  std::vector<double> out(q, 0.0);
-  for (std::size_t j = 0; j < q; ++j)
+  for (std::size_t j = 0; j < q; ++j) {
+    out[j * stride] = 0.0;
     for (std::size_t c = 0; c < row.size(); ++c)
-      out[j] += (row[c] - mean_[c]) * projection_(c, j);
-  return out;
+      out[j * stride] += (row[c] - mean_[c]) * projection_(c, j);
+  }
 }
 
 linalg::Matrix Pca::inverse_transform(const linalg::Matrix& projected) const {

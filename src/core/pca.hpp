@@ -66,6 +66,14 @@ class Pca {
   /// Projects one observation.
   std::vector<double> transform(std::span<const double> row) const;
 
+  /// Allocation-free form of transform(span): writes component j to
+  /// out[j * stride] — stride 1 for a dense vector, or a QueryBlock's
+  /// stride to project straight into the kernel's feature-major layout.
+  /// Identical accumulation order (component-outer, feature-inner, from
+  /// 0.0) — the vector overload delegates here.
+  void transform_into(std::span<const double> row, double* out,
+                      std::size_t stride) const;
+
   /// Reconstructs observations from component space (m x q -> m x p);
   /// useful for measuring reconstruction error in ablations.
   linalg::Matrix inverse_transform(const linalg::Matrix& projected) const;

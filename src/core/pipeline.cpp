@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 
@@ -53,6 +54,48 @@ double ClassificationResult::novel_fraction() const {
   return static_cast<double>(novel) / static_cast<double>(novelty.size());
 }
 
+namespace {
+
+/// Scratch slots beyond the workers: the cooperative caller inside
+/// parallel_for plus headroom for a few independent caller threads
+/// before acquire() falls back to overflow allocation.
+constexpr std::size_t kScratchCallerSlots = 4;
+
+}  // namespace
+
+SnapshotScratchPool::SnapshotScratchPool(std::size_t slots)
+    : slots_(std::max<std::size_t>(slots, 1)) {}
+
+SnapshotScratchPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_),
+      slot_(other.slot_),
+      overflow_(std::move(other.overflow_)),
+      scratch_(other.scratch_) {
+  other.pool_ = nullptr;
+  other.scratch_ = nullptr;
+}
+
+SnapshotScratchPool::Lease::~Lease() {
+  if (pool_ != nullptr)
+    pool_->slots_[slot_].busy.store(false, std::memory_order_release);
+}
+
+SnapshotScratchPool::Lease SnapshotScratchPool::acquire() {
+  // One probe hits a worker's own warm slot in the common case; the scan
+  // only proceeds under slot-hint collisions (several non-pool threads).
+  const std::size_t hint = engine::current_worker_slot() % slots_.size();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const std::size_t idx = (hint + i) % slots_.size();
+    bool expected = false;
+    if (slots_[idx].busy.compare_exchange_strong(
+            expected, true, std::memory_order_acquire,
+            std::memory_order_relaxed))
+      return Lease(this, idx, &slots_[idx].scratch);
+  }
+  overflows_.fetch_add(1, std::memory_order_relaxed);
+  return Lease(std::make_unique<SnapshotScratch>());
+}
+
 ClassificationPipeline::ClassificationPipeline(PipelineOptions options)
     : options_(options),
       preprocessor_(options.selected_metrics.empty()
@@ -60,11 +103,15 @@ ClassificationPipeline::ClassificationPipeline(PipelineOptions options)
                         : Preprocessor{options.selected_metrics}),
       pca_(options.pca),
       knn_(options.knn),
-      context_(engine::ExecutionContext::make(options.parallelism)) {}
+      context_(engine::ExecutionContext::make(options.parallelism)),
+      scratch_pool_(std::make_shared<SnapshotScratchPool>(
+          context_->parallelism() + kScratchCallerSlots)) {}
 
 void ClassificationPipeline::set_parallelism(std::size_t parallelism) {
   options_.parallelism = parallelism;
   context_ = engine::ExecutionContext::make(parallelism);
+  scratch_pool_ = std::make_shared<SnapshotScratchPool>(
+      context_->parallelism() + kScratchCallerSlots);
 }
 
 void ClassificationPipeline::train(const std::vector<LabeledPool>& training) {
@@ -222,15 +269,21 @@ ClassificationResult ClassificationPipeline::classify(
         [&](std::size_t begin, std::size_t end, std::size_t) {
           obs::TraceSpan shard_span("engine_shard", &pm.shard);
           obs::ScopedTimer shard_timer(pm.shard);
-          engine::BlockedKnnIndex::Scratch scratch;
+          // Pooled per-worker scratch: each shard leases the slot warmed
+          // by previous shards on the same worker instead of sizing a
+          // fresh one.
+          auto scratch = scratch_pool_->acquire();
+          const std::uint64_t pruned_before = scratch->kernel.pruned_tiles;
           knn_.query_rows(result.projected, begin, end, query_options,
-                          queries, scratch);
+                          queries, scratch->kernel);
           shard_timer.stop();
           if (shard_span.recording()) {
             shard_span.add_attr({"stage", "knn_query"});
             shard_span.add_attr({"begin", begin});
             shard_span.add_attr({"end", end});
-            shard_span.add_attr({"pruned_tiles", scratch.pruned_tiles});
+            shard_span.add_attr(
+                {"pruned_tiles",
+                 scratch->kernel.pruned_tiles - pruned_before});
           }
         });
     knn_timer.stop_and_observe_per_item(m);
@@ -279,11 +332,13 @@ ApplicationClass ClassificationPipeline::classify(
   // blocked kernel with thread-local scratch — no per-query result
   // allocation, same arithmetic as query().
   pipeline_metrics().snapshots.inc();
-  const std::vector<double> projected =
-      pca_.transform(preprocessor_.transform(snapshot));
-  thread_local engine::BlockedKnnIndex::Scratch scratch;
+  auto scratch = scratch_pool_->acquire();
+  scratch->row.resize(preprocessor_.dimension());
+  preprocessor_.transform_into(snapshot, scratch->row);
+  scratch->projected.resize(pca_.components());
+  pca_.transform_into(scratch->row, scratch->projected.data(), 1);
   const engine::BlockedKnnIndex& index = knn_.index();
-  return index.vote(index.top_k(projected, scratch)).label;
+  return index.vote(index.top_k(scratch->projected, scratch->kernel)).label;
 }
 
 SnapshotClassification ClassificationPipeline::classify_detailed(
@@ -297,9 +352,9 @@ SnapshotClassification ClassificationPipeline::classify_detailed(
   pipeline_metrics().snapshots.inc();
   SnapshotClassification out;
   out.projected = pca_.transform(preprocessor_.transform(snapshot));
-  thread_local engine::BlockedKnnIndex::Scratch scratch;
+  auto scratch = scratch_pool_->acquire();
   const engine::BlockedKnnIndex& index = knn_.index();
-  const auto hits = index.top_k(out.projected, scratch);
+  const auto hits = index.top_k(out.projected, scratch->kernel);
   const engine::BlockedKnnIndex::Vote vote = index.vote(hits);
   out.label = vote.label;
   out.confidence = vote.share;
@@ -321,6 +376,67 @@ SnapshotClassification ClassificationPipeline::classify_detailed(
                     ? std::sqrt(hits.front().distance)
                     : hits.front().distance;
   return out;
+}
+
+void ClassificationPipeline::begin_snapshot_batch(SnapshotBatch& batch,
+                                                  std::size_t count,
+                                                  bool detailed) const {
+  APPCLASS_EXPECTS(trained_);
+  // One batched bump of the same counter classify(snapshot) ticks per
+  // call — identical totals, no per-snapshot atomic on the drain path.
+  pipeline_metrics().snapshots.inc(count);
+  batch.queries_.reset(pca_.components(), count);
+  // Grow-only: shrinking would free the details' projected vectors and
+  // reintroduce per-drain allocation; count_ bounds the valid range.
+  if (batch.labels_.size() < count) batch.labels_.resize(count);
+  if (detailed && batch.details_.size() < count) batch.details_.resize(count);
+  batch.count_ = count;
+  batch.detailed_ = detailed;
+}
+
+void ClassificationPipeline::classify_snapshot_into(
+    const metrics::Snapshot& snapshot, SnapshotBatch& batch, std::size_t i,
+    SnapshotScratch& scratch) const {
+  APPCLASS_EXPECTS(trained_);
+  APPCLASS_EXPECTS(i < batch.count_);
+  // Same transform chain, kernel arithmetic, and vote as
+  // classify(snapshot) / classify_detailed(snapshot) — the query point
+  // just lands in the batch's SoA block (strided) instead of a dense
+  // temporary, which cannot change any per-feature arithmetic. (The
+  // snapshot counter was bumped for the whole batch by
+  // begin_snapshot_batch.)
+  scratch.row.resize(preprocessor_.dimension());
+  preprocessor_.transform_into(snapshot, scratch.row);
+  pca_.transform_into(scratch.row, batch.queries_.point(i),
+                      batch.queries_.stride());
+
+  const engine::BlockedKnnIndex& index = knn_.index();
+  const auto hits = index.top_k(batch.queries_, i, scratch.kernel);
+  const engine::BlockedKnnIndex::Vote vote = index.vote(hits);
+  batch.labels_[i] = vote.label;
+  if (!batch.detailed_) return;
+
+  SnapshotClassification& detail = batch.details_[i];
+  detail.label = vote.label;
+  detail.confidence = vote.share;
+  // Margin: winner minus runner-up vote count over k — line-for-line
+  // classify_detailed().
+  std::array<int, kClassCount> votes{};
+  for (const auto& hit : hits) ++votes[index_of(index.labels()[hit.index])];
+  const int winner = votes[index_of(vote.label)];
+  int runner_up = 0;
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    if (c == index_of(vote.label)) continue;
+    runner_up = std::max(runner_up, votes[c]);
+  }
+  detail.vote_margin = static_cast<double>(winner - runner_up) /
+                       static_cast<double>(hits.size());
+  detail.novelty = index.metric() == engine::DistanceMetric::kEuclidean
+                       ? std::sqrt(hits.front().distance)
+                       : hits.front().distance;
+  detail.projected.resize(pca_.components());
+  for (std::size_t j = 0; j < detail.projected.size(); ++j)
+    detail.projected[j] = batch.queries_.at(i, j);
 }
 
 linalg::Matrix ClassificationPipeline::project(

@@ -17,7 +17,9 @@
 // path for callers to opt into.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -107,6 +109,100 @@ struct SnapshotClassification {
   std::vector<double> projected;
 };
 
+/// Everything one classification worker reuses across snapshots: the
+/// normalized-row staging buffer and the k-NN kernel scratch. Grow-only;
+/// after the first query through it, classifying further snapshots of
+/// the same pipeline performs zero heap allocations.
+struct SnapshotScratch {
+  std::vector<double> row;        ///< preprocessor output (p doubles)
+  std::vector<double> projected;  ///< PCA output (q doubles)
+  engine::BlockedKnnIndex::Scratch kernel;
+};
+
+/// Fixed-slot pool of SnapshotScratch leased per worker. Slots are
+/// probed starting at engine::current_worker_slot(), so each pool worker
+/// lands on its own warm slot in one CAS; non-worker callers share the
+/// remaining slots. When every slot is busy (more concurrent callers
+/// than the pool was sized for) acquire() falls back to a heap-allocated
+/// overflow scratch — counted, never wrong, never hit in steady state.
+class SnapshotScratchPool {
+ public:
+  /// `slots` should cover parallelism + expected concurrent callers.
+  explicit SnapshotScratchPool(std::size_t slots);
+
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    SnapshotScratch& operator*() const noexcept { return *scratch_; }
+    SnapshotScratch* operator->() const noexcept { return scratch_; }
+
+   private:
+    friend class SnapshotScratchPool;
+    Lease(SnapshotScratchPool* pool, std::size_t slot,
+          SnapshotScratch* scratch) noexcept
+        : pool_(pool), slot_(slot), scratch_(scratch) {}
+    explicit Lease(std::unique_ptr<SnapshotScratch> overflow) noexcept
+        : overflow_(std::move(overflow)), scratch_(overflow_.get()) {}
+
+    SnapshotScratchPool* pool_ = nullptr;  ///< null for overflow leases
+    std::size_t slot_ = 0;
+    std::unique_ptr<SnapshotScratch> overflow_;
+    SnapshotScratch* scratch_ = nullptr;
+  };
+
+  Lease acquire();
+
+  std::size_t slots() const noexcept { return slots_.size(); }
+  /// Times acquire() had to heap-allocate because all slots were busy.
+  std::uint64_t overflows() const noexcept {
+    return overflows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> busy{false};
+    SnapshotScratch scratch;
+  };
+
+  std::vector<Slot> slots_;  ///< fixed at construction: lock-free probing
+  std::atomic<std::uint64_t> overflows_{0};
+};
+
+/// A drained batch of snapshots mid-classification: the query points in
+/// the kernel's feature-major SoA layout plus per-snapshot outputs.
+/// Grow-only — reusing one batch across drains is what makes the stream
+/// path allocation-free once it has seen its largest drain.
+class SnapshotBatch {
+ public:
+  std::size_t size() const noexcept { return count_; }
+  bool detailed() const noexcept { return detailed_; }
+
+  ApplicationClass label(std::size_t i) const { return labels_[i]; }
+  /// Valid only on a detailed batch.
+  const SnapshotClassification& detail(std::size_t i) const {
+    return details_[i];
+  }
+
+  /// The projected query points (feature-major; diagnostics/tests).
+  const engine::QueryBlock& queries() const noexcept { return queries_; }
+
+ private:
+  friend class ClassificationPipeline;
+
+  engine::QueryBlock queries_;
+  std::vector<ApplicationClass> labels_;
+  /// Sized lazily and never shrunk, so the per-entry `projected` vectors
+  /// keep their capacity across drains; count_ bounds the valid range.
+  std::vector<SnapshotClassification> details_;
+  std::size_t count_ = 0;
+  bool detailed_ = false;
+};
+
 class ClassificationPipeline {
  public:
   explicit ClassificationPipeline(PipelineOptions options = {});
@@ -129,6 +225,28 @@ class ClassificationPipeline {
   /// model-health layer. Same label arithmetic as classify(snapshot).
   SnapshotClassification classify_detailed(
       const metrics::Snapshot& snapshot) const;
+
+  /// Batched streaming path (the fleet drain). Prepares `batch` for
+  /// `count` snapshots — `detailed` selects label-only or full-evidence
+  /// outputs — reusing all of its storage from previous batches.
+  void begin_snapshot_batch(SnapshotBatch& batch, std::size_t count,
+                            bool detailed) const;
+
+  /// Normalizes + projects `snapshot` straight into slot `i` of the
+  /// batch's feature-major query block and classifies it from there.
+  /// Bit-identical to classify(snapshot) / classify_detailed(snapshot):
+  /// same transform chain, same kernel arithmetic, same vote. Distinct
+  /// slots are independent — shards may call this concurrently with one
+  /// scratch per caller. Allocation-free after warmup.
+  void classify_snapshot_into(const metrics::Snapshot& snapshot,
+                              SnapshotBatch& batch, std::size_t i,
+                              SnapshotScratch& scratch) const;
+
+  /// Leases per-worker query scratch from the pipeline's pool (sized to
+  /// the execution context's parallelism plus caller headroom).
+  SnapshotScratchPool::Lease acquire_scratch() const {
+    return scratch_pool_->acquire();
+  }
 
   /// The configured novelty threshold (0 = novelty accounting disabled).
   double novelty_threshold() const noexcept {
@@ -165,6 +283,10 @@ class ClassificationPipeline {
   Pca pca_;
   KnnClassifier knn_;
   std::shared_ptr<engine::ExecutionContext> context_;
+  /// Worker-keyed query scratch; shared_ptr keeps the pipeline copyable
+  /// (the pool holds atomics — copies share it, which is safe because
+  /// slots are leased atomically). Rebuilt by set_parallelism.
+  std::shared_ptr<SnapshotScratchPool> scratch_pool_;
   bool trained_ = false;
 };
 

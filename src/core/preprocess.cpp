@@ -48,12 +48,18 @@ linalg::Matrix Preprocessor::transform(const metrics::DataPool& pool) const {
 
 std::vector<double> Preprocessor::transform(
     const metrics::Snapshot& snapshot) const {
-  APPCLASS_EXPECTS(fitted_);
   std::vector<double> row(selected_.size());
+  transform_into(snapshot, row);
+  return row;
+}
+
+void Preprocessor::transform_into(const metrics::Snapshot& snapshot,
+                                  std::span<double> row) const {
+  APPCLASS_EXPECTS(fitted_);
+  APPCLASS_EXPECTS(row.size() == selected_.size());
   for (std::size_t i = 0; i < selected_.size(); ++i)
     row[i] = snapshot.get(selected_[i]);
   linalg::normalize_row(row, stats_);
-  return row;
 }
 
 }  // namespace appclass::core

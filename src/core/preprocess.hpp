@@ -54,6 +54,12 @@ class Preprocessor {
   /// Extract + normalize a single snapshot.
   std::vector<double> transform(const metrics::Snapshot& snapshot) const;
 
+  /// Allocation-free form of transform(Snapshot): writes the normalized
+  /// row into caller-owned storage (`row.size()` must equal dimension()).
+  /// Identical arithmetic — the vector overload delegates here.
+  void transform_into(const metrics::Snapshot& snapshot,
+                      std::span<double> row) const;
+
   /// Rebuilds a fitted preprocessor from persisted state (serialization).
   static Preprocessor restore(std::vector<metrics::MetricId> selected,
                               linalg::ColumnStats stats);

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 namespace appclass::dist {
@@ -22,6 +23,7 @@ bool send_all(int fd, const char* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
     const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal, not failure: retry
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
@@ -65,6 +67,9 @@ std::optional<std::string> http_get(const std::string& host,
   for (;;) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
     if (n < 0) {
+      if (errno == EINTR) continue;  // signal, not failure: retry
+      // EAGAIN/EWOULDBLOCK here means the SO_RCVTIMEO budget expired —
+      // a genuine timeout, reported as failure like any other error.
       ::close(fd);
       return std::nullopt;
     }

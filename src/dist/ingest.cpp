@@ -29,6 +29,7 @@ bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
     const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal, not failure: retry
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
@@ -161,9 +162,10 @@ void IngestListener::handle_connection(int fd) {
     const DecodeStatus status = decoder.next(frame);
     if (status == DecodeStatus::kNeedMore) {
       const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+      if (n < 0 && errno == EINTR) continue;  // signal, not failure: retry
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
         continue;  // idle between replay cycles; just keep listening
-      if (n <= 0) return;
+      if (n <= 0) return;  // 0 = peer closed; < 0 = real socket error
       decoder.append({buffer, static_cast<std::size_t>(n)});
       continue;
     }

@@ -82,6 +82,7 @@ bool WorkerLink::ensure_connected() {
     bool ok = true;
     while (got < kHelloBytes) {
       const ssize_t n = ::recv(fd, raw + got, kHelloBytes - got, 0);
+      if (n < 0 && errno == EINTR) continue;  // signal, not failure: retry
       if (n <= 0) {
         ok = false;
         break;
@@ -139,6 +140,7 @@ bool WorkerLink::write_bytes(const std::vector<std::uint8_t>& bytes) {
   while (sent < bytes.size()) {
     const ssize_t n =
         ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal, not failure: retry
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
@@ -158,6 +160,7 @@ bool WorkerLink::drain_acks(bool block) {
   for (;;) {
     const ssize_t n =
         ::recv(fd_, buffer, sizeof buffer, block ? 0 : MSG_DONTWAIT);
+    if (n < 0 && errno == EINTR) continue;  // signal, not failure: retry
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // Non-blocking pass with nothing pending is fine; a blocking wait
       // timing out means the worker stalled — reconnect and resend.

@@ -54,12 +54,19 @@ void install_serve_signals() {
   std::signal(SIGINT, handle_serve_signal);
 }
 
+/// Digits-only integer parse for flag/env values. Deliberately stricter
+/// than strtoll, which accepts leading whitespace and a sign — so
+/// "--shard-port= 80", "+80", or "-1" read as valid ports/counts. Every
+/// value parsed here is a count, port, or ordinal: non-negative by
+/// definition, so only [0-9]+ is well-formed. Length-capped below
+/// LLONG_MAX's 19 digits, so overflow cannot occur.
 std::optional<long long> parse_int(const std::string& text) {
-  if (text.empty()) return std::nullopt;
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(text.c_str(), &end, 10);
-  if (errno != 0 || end != text.c_str() + text.size()) return std::nullopt;
+  if (text.empty() || text.size() > 18) return std::nullopt;
+  long long v = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    v = v * 10 + (ch - '0');
+  }
   return v;
 }
 

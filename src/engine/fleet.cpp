@@ -1,5 +1,6 @@
 #include "engine/fleet.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -21,8 +22,16 @@ struct FleetMetrics {
   // Backpressure telemetry: is ingest keeping up with the fleet?
   obs::Counter& dropped = obs::MetricsRegistry::global().counter(
       "appclass_fleet_dropped_total");
+  obs::Counter& overwritten = obs::MetricsRegistry::global().counter(
+      "appclass_fleet_overwritten_total");
   obs::Gauge& backlog_peak =
       obs::MetricsRegistry::global().gauge("appclass_fleet_backlog_peak");
+  // Allocation telemetry: backlog-ring growth events and current slot
+  // capacity. A steady-state workload must leave the counter flat.
+  obs::Counter& ring_grows = obs::MetricsRegistry::global().counter(
+      "appclass_fleet_ring_grows_total");
+  obs::Gauge& ring_capacity =
+      obs::MetricsRegistry::global().gauge("appclass_fleet_ring_capacity");
   obs::Gauge& drain_rate = obs::MetricsRegistry::global().gauge(
       "appclass_fleet_drain_snapshots_per_second");
   obs::Histogram& drain_seconds = obs::stage_histogram("fleet_drain");
@@ -54,16 +63,26 @@ std::vector<core::ClassificationResult> BatchClassifier::classify_pools(
 }
 
 FleetStream::FleetStream(const core::ClassificationPipeline& pipeline,
-                         core::OnlineOptions options, std::size_t max_backlog)
+                         core::OnlineOptions options, std::size_t max_backlog,
+                         OverflowPolicy policy)
     : pipeline_(pipeline),
       online_(pipeline, options),
-      max_backlog_(max_backlog) {}
+      max_backlog_(max_backlog),
+      policy_(policy) {}
 
 FleetStream::~FleetStream() { detach(); }
 
 void FleetStream::set_ingest_hook(IngestHook hook) {
   const std::lock_guard lock(mutex_);
+  // Overwriting a logged-but-not-yet-ingested snapshot would leave WAL
+  // entries the online state never saw — the two features are mutually
+  // exclusive by contract.
+  APPCLASS_EXPECTS(hook == nullptr ||
+                   policy_ != OverflowPolicy::kOverwriteOldest);
   ingest_hook_ = std::move(hook);
+  // The horizon describes the new hook's log; sequences of a previous
+  // hook must not leak into the next checkpoint's wal_next claim.
+  ingested_wal_horizon_ = 0;
 }
 
 std::uint64_t FleetStream::ingested_wal_horizon() const {
@@ -76,6 +95,16 @@ bool FleetStream::push(const metrics::Snapshot& snapshot) {
   FleetMetrics& fm = fleet_metrics();
   const std::lock_guard lock(mutex_);
   if (max_backlog_ > 0 && pending_.size() >= max_backlog_) {
+    if (policy_ == OverflowPolicy::kOverwriteOldest) {
+      // Freshest-data-wins: retire the oldest buffered snapshot in
+      // place. The slot's payload is reused; nothing is allocated.
+      SnapshotRing::Slot& slot = pending_.displace_oldest();
+      slot.snapshot = snapshot;
+      slot.seq = SnapshotRing::kNoSeq;
+      ++overwritten_;
+      fm.overwritten.inc();
+      return true;
+    }
     // Drop-on-full: losing one snapshot degrades one node's coverage for
     // one grid slot (the online layer is built for exactly that), while
     // an unbounded buffer under sustained overload degrades everything.
@@ -93,13 +122,25 @@ bool FleetStream::push(const metrics::Snapshot& snapshot) {
     fm.dropped.inc();
     return false;
   }
-  if (ingest_hook_) pending_seqs_.push_back(ingest_hook_(snapshot));
-  pending_.push_back(snapshot);
+  const std::size_t capacity_before = pending_.capacity();
+  SnapshotRing::Slot& slot = pending_.append();
+  // Assigning into the warmed slot reuses the previous occupant's string
+  // capacity — the only allocations here are ring growth, counted below.
+  slot.snapshot = snapshot;
+  // The hook runs after the slot is claimed but under the same lock, so
+  // log order == buffer order == ingest order.
+  slot.seq = ingest_hook_ ? ingest_hook_(snapshot) : SnapshotRing::kNoSeq;
+  if (pending_.capacity() != capacity_before) {
+    fm.ring_grows.inc();
+    fm.ring_capacity.set(static_cast<double>(pending_.capacity()));
+  }
   if (pending_.size() > backlog_peak_) {
     backlog_peak_ = pending_.size();
     fm.backlog_peak.set(static_cast<double>(backlog_peak_));
   }
-  fm.backlog.add(1.0);
+  // set(), not add(): the exact depth is in hand under the lock, and a
+  // plain store beats the add() CAS loop on this per-snapshot path.
+  fm.backlog.set(static_cast<double>(pending_.size()));
   return true;
 }
 
@@ -118,62 +159,100 @@ std::size_t FleetStream::dropped() const {
   return dropped_;
 }
 
+std::size_t FleetStream::overwritten() const {
+  const std::lock_guard lock(mutex_);
+  return overwritten_;
+}
+
+std::uint64_t FleetStream::ring_grows() const {
+  const std::lock_guard lock(mutex_);
+  return pending_.grows() + drained_.grows();
+}
+
 std::size_t FleetStream::drain() {
-  std::vector<metrics::Snapshot> batch;
-  std::vector<std::uint64_t> seqs;
+  // Double-buffer swap: the drainer hands its (already-consumed) ring
+  // back and takes the pending one — O(1) under the lock, and the warmed
+  // slots circulate between the two rings instead of being reallocated.
+  drained_.clear();
+  FleetMetrics& fm = fleet_metrics();
   {
     const std::lock_guard lock(mutex_);
-    batch.swap(pending_);
-    seqs.swap(pending_seqs_);
+    pending_.swap(drained_);
+    // Published while the lock still serializes us against pushers, so
+    // the gauge never goes stale-high after a swap.
+    fm.backlog.set(0.0);
   }
-  if (batch.empty()) return 0;
-  FleetMetrics& fm = fleet_metrics();
-  fm.backlog.add(-static_cast<double>(batch.size()));
-  fm.drain_batch.observe(static_cast<double>(batch.size()));
+  const std::size_t n = drained_.size();
+  if (n == 0) return 0;
+  fm.drain_batch.observe(static_cast<double>(n));
 
   obs::TraceSpan span("fleet_drain");
-  span.add_attr({"snapshots", batch.size()});
+  if (span.recording()) span.add_attr({"snapshots", n});
   obs::ScopedTimer drain_timer(fm.drain_seconds);
 
-  // Parallel classification (the pipeline's snapshot path is const and
-  // uses thread-local kernel scratch), then strictly serial ingestion in
-  // push order — the per-node windows and debounce see exactly the
-  // sequence observe() would have. With a health aggregator attached the
-  // parallel stage keeps the full vote evidence per snapshot; the labels
-  // are computed by the identical arithmetic either way.
-  if (online_.health() != nullptr) {
-    std::vector<core::SnapshotClassification> details(batch.size());
-    pipeline_.context()->for_each(batch.size(), [&](std::size_t i) {
-      details[i] = pipeline_.classify_detailed(batch[i]);
-    });
-    for (std::size_t i = 0; i < batch.size(); ++i)
-      online_.ingest(batch[i], details[i]);
+  // Parallel classification through the pipeline's batched SoA path
+  // (each shard leases its own query scratch and writes disjoint batch
+  // slots), then strictly serial ingestion in push order — the per-node
+  // windows and debounce see exactly the sequence observe() would have.
+  // With a health aggregator attached the batch keeps the full vote
+  // evidence per snapshot; the labels are computed by the identical
+  // arithmetic either way.
+  const bool detailed = online_.health() != nullptr;
+  pipeline_.begin_snapshot_batch(batch_, n, detailed);
+  if (!pipeline_.context()->pooled()) {
+    // Serial context: classify inline with one scratch lease. Bypassing
+    // for_shards also avoids materializing a std::function per drain.
+    auto scratch = pipeline_.acquire_scratch();
+    for (std::size_t i = 0; i < n; ++i)
+      pipeline_.classify_snapshot_into(drained_.at(i).snapshot, batch_, i,
+                                       *scratch);
   } else {
-    std::vector<core::ApplicationClass> labels(batch.size());
-    pipeline_.context()->for_each(batch.size(), [&](std::size_t i) {
-      labels[i] = pipeline_.classify(batch[i]);
-    });
-    for (std::size_t i = 0; i < batch.size(); ++i)
-      online_.ingest(batch[i], labels[i]);
+    pipeline_.context()->for_shards(
+        n, kDefaultGrain,
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          auto scratch = pipeline_.acquire_scratch();
+          for (std::size_t i = begin; i < end; ++i)
+            pipeline_.classify_snapshot_into(drained_.at(i).snapshot, batch_,
+                                             i, *scratch);
+        });
+  }
+  if (detailed) {
+    for (std::size_t i = 0; i < n; ++i)
+      online_.ingest(drained_.at(i).snapshot, batch_.detail(i));
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      online_.ingest(drained_.at(i).snapshot, batch_.label(i));
   }
 
-  if (!seqs.empty()) {
+  // Ingest horizon: one past the newest hook-logged sequence we just
+  // ingested. Snapshots accepted without a hook carry kNoSeq and are
+  // skipped, so a hook attached mid-stream sees an exact horizon. The
+  // max keeps it monotonic for the lifetime of one hook.
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint64_t seq = drained_.at(i).seq;
+    if (seq == SnapshotRing::kNoSeq) continue;
     const std::lock_guard lock(mutex_);
-    ingested_wal_horizon_ = seqs.back() + 1;
+    ingested_wal_horizon_ = std::max(ingested_wal_horizon_, seq + 1);
+    break;
   }
 
   const double seconds = drain_timer.stop();
-  if (seconds > 0.0)
-    fm.drain_rate.set(static_cast<double>(batch.size()) / seconds);
-  fm.drained.inc(batch.size());
-  APPCLASS_LOG_DEBUG("fleet.drain", {"snapshots", batch.size()},
-                     {"seconds", seconds},
+  if (seconds > 0.0) fm.drain_rate.set(static_cast<double>(n) / seconds);
+  fm.drained.inc(n);
+  APPCLASS_LOG_DEBUG("fleet.drain", {"snapshots", n}, {"seconds", seconds},
                      {"parallelism", pipeline_.context()->parallelism()});
-  return batch.size();
+  return n;
 }
 
 void FleetStream::attach(monitor::MetricBus& bus) {
   detach();
+  {
+    // New subscription, new backpressure episode: the peak should answer
+    // "how far behind did *this* attachment get".
+    const std::lock_guard lock(mutex_);
+    backlog_peak_ = 0;
+    fleet_metrics().backlog_peak.set(0.0);
+  }
   bus_ = &bus;
   subscription_ = bus.subscribe(
       [this](const metrics::Snapshot& snapshot) { push(snapshot); });

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "engine/knn_block_tiles.hpp"
 
 namespace appclass::engine {
 namespace {
@@ -66,13 +67,17 @@ void BlockedKnnIndex::build(const linalg::Matrix& points,
   }
 }
 
-double BlockedKnnIndex::query_norm(std::span<const double> q) const {
+double BlockedKnnIndex::query_norm(const double* q,
+                                   std::size_t qstride) const {
   double acc = 0.0;
   if (metric_ == DistanceMetric::kManhattan) {
-    for (const double v : q) acc += std::abs(v);
+    for (std::size_t j = 0; j < dims_; ++j) acc += std::abs(q[j * qstride]);
     return acc;
   }
-  for (const double v : q) acc += v * v;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    const double v = q[j * qstride];
+    acc += v * v;
+  }
   return std::sqrt(acc);
 }
 
@@ -92,18 +97,19 @@ double BlockedKnnIndex::tile_lower_bound(std::size_t t, double qnorm) const {
   return bound * kPruneSlack;
 }
 
-void BlockedKnnIndex::tile_distances(std::span<const double> q,
+void BlockedKnnIndex::tile_distances(const double* q, std::size_t qstride,
                                      std::size_t t0, std::size_t width,
                                      std::vector<double>& acc) const {
   // Vectorizes across the tile's points; each point's accumulator sees
   // features in ascending order — the exact summation order of
-  // linalg::squared_distance / manhattan_distance.
+  // linalg::squared_distance / manhattan_distance. The query's stride
+  // only changes where feature j is loaded from, never the arithmetic.
   std::fill(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(width),
             0.0);
   double* const a = acc.data();
   if (metric_ == DistanceMetric::kManhattan) {
     for (std::size_t j = 0; j < dims_; ++j) {
-      const double qj = q[j];
+      const double qj = q[j * qstride];
       const double* const col = features_.data() + j * padded_ + t0;
       for (std::size_t i = 0; i < width; ++i)
         a[i] += std::abs(col[i] - qj);
@@ -111,7 +117,7 @@ void BlockedKnnIndex::tile_distances(std::span<const double> q,
     return;
   }
   for (std::size_t j = 0; j < dims_; ++j) {
-    const double qj = q[j];
+    const double qj = q[j * qstride];
     const double* const col = features_.data() + j * padded_ + t0;
     for (std::size_t i = 0; i < width; ++i) {
       const double d = col[i] - qj;
@@ -122,15 +128,27 @@ void BlockedKnnIndex::tile_distances(std::span<const double> q,
 
 std::span<const BlockedKnnIndex::Hit> BlockedKnnIndex::top_k(
     std::span<const double> q, Scratch& scratch) const {
-  APPCLASS_EXPECTS(built());
   APPCLASS_EXPECTS(q.size() == dims_);
+  return top_k_strided(q.data(), 1, scratch);
+}
+
+std::span<const BlockedKnnIndex::Hit> BlockedKnnIndex::top_k(
+    const QueryBlock& block, std::size_t i, Scratch& scratch) const {
+  APPCLASS_EXPECTS(block.dims() == dims_);
+  APPCLASS_EXPECTS(i < block.count());
+  return top_k_block(block.point(i), block.stride(), scratch);
+}
+
+std::span<const BlockedKnnIndex::Hit> BlockedKnnIndex::top_k_strided(
+    const double* q, std::size_t qstride, Scratch& scratch) const {
+  APPCLASS_EXPECTS(built());
   const std::size_t n = labels_.size();
   const std::size_t k = std::min(k_, n);
   scratch.acc.resize(kTile);
   scratch.hits.resize(k);
   Hit* const hits = scratch.hits.data();
   std::size_t count = 0;
-  const double qnorm = query_norm(q);
+  const double qnorm = query_norm(q, qstride);
 
   for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
     const std::size_t width = std::min(kTile, n - t0);
@@ -139,7 +157,7 @@ std::span<const BlockedKnnIndex::Hit> BlockedKnnIndex::top_k(
       ++scratch.pruned_tiles;
       continue;
     }
-    tile_distances(q, t0, width, scratch.acc);
+    tile_distances(q, qstride, t0, width, scratch.acc);
     for (std::size_t i = 0; i < width; ++i) {
       const double d = scratch.acc[i];
       // Candidates arrive in ascending index, so a distance tie keeps
@@ -159,6 +177,118 @@ std::span<const BlockedKnnIndex::Hit> BlockedKnnIndex::top_k(
   return {hits, count};
 }
 
+void BlockedKnnIndex::tile_distances_nofill(const double* q,
+                                            std::size_t qstride,
+                                            std::size_t t0, std::size_t width,
+                                            std::vector<double>& acc) const {
+  // Same per-point accumulation as tile_distances, but the first feature
+  // stores instead of adding into a zeroed array (every per-feature term
+  // is non-negative, so 0 + term == term bit for bit and the zeroing
+  // pass is pure overhead), and the per-feature sweeps run through the
+  // vectorized blocktiles primitives.
+  double* const a = acc.data();
+  if (metric_ == DistanceMetric::kManhattan) {
+    if (dims_ == 2) {
+      blocktiles::l1_pair(features_.data() + t0, features_.data() + padded_ + t0,
+                          q[0], q[qstride], a, width);
+      return;
+    }
+    blocktiles::l1_first(features_.data() + t0, q[0], a, width);
+    for (std::size_t j = 1; j < dims_; ++j)
+      blocktiles::l1_accumulate(features_.data() + j * padded_ + t0,
+                                q[j * qstride], a, width);
+    return;
+  }
+  if (dims_ == 2) {
+    blocktiles::sq_pair(features_.data() + t0, features_.data() + padded_ + t0,
+                        q[0], q[qstride], a, width);
+    return;
+  }
+  blocktiles::sq_first(features_.data() + t0, q[0], a, width);
+  for (std::size_t j = 1; j < dims_; ++j)
+    blocktiles::sq_accumulate(features_.data() + j * padded_ + t0,
+                              q[j * qstride], a, width);
+}
+
+std::span<const BlockedKnnIndex::Hit> BlockedKnnIndex::top_k_block(
+    const double* q, std::size_t qstride, Scratch& scratch) const {
+  APPCLASS_EXPECTS(built());
+  const std::size_t n = labels_.size();
+  const std::size_t k = std::min(k_, n);
+  constexpr std::size_t kChunk = blocktiles::kMinChunk;
+  scratch.acc.resize(kTile);
+  scratch.chunk_mins.resize(kTile / kChunk);
+  scratch.hits.resize(k);
+  Hit* const hits = scratch.hits.data();
+  std::size_t count = 0;
+  // The norm (and its sqrt) only feeds the cross-tile prune test, which
+  // a single-tile index never reaches — common for this domain's small
+  // labeled training pools.
+  const double qnorm = n > kTile ? query_norm(q, qstride) : 0.0;
+
+  // Lexicographic (distance, index) insertion, valid under ANY candidate
+  // processing order. The reference ascending scan keeps exactly the k
+  // lexicographically smallest (distance, index) pairs — its strict '<'
+  // on distance means a later tie never displaces an earlier index — so
+  // maintaining that set directly frees the loop below to visit chunks
+  // out of order and still return bit-identical hits in the same order.
+  const auto consider = [&](double d, std::size_t index) {
+    const auto idx = static_cast<std::uint32_t>(index);
+    if (count == k && (d > hits[k - 1].distance ||
+                       (d == hits[k - 1].distance && idx > hits[k - 1].index)))
+      return;
+    std::size_t pos = count < k ? count : k - 1;
+    while (pos > 0 && (d < hits[pos - 1].distance ||
+                       (d == hits[pos - 1].distance &&
+                        idx < hits[pos - 1].index))) {
+      hits[pos] = hits[pos - 1];
+      --pos;
+    }
+    hits[pos] = Hit{d, idx};
+    if (count < k) ++count;
+  };
+
+  for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
+    const std::size_t width = std::min(kTile, n - t0);
+    if (count == k &&
+        tile_lower_bound(t0 / kTile, qnorm) > hits[k - 1].distance) {
+      ++scratch.pruned_tiles;
+      continue;
+    }
+    tile_distances_nofill(q, qstride, t0, width, scratch.acc);
+    const double* const a = scratch.acc.data();
+    const std::size_t blocks = width / kChunk;
+    if (blocks > 0) {
+      // Per-8 minima come from the vectorized sweep TU, near-free next
+      // to the distance pass. Seeding from the most promising chunk
+      // usually collapses the k-th distance to its final value at once,
+      // so the single compare below then discards almost every other
+      // chunk wholesale — unlike an ascending scan, where a query near
+      // a late cluster drags a loose k-th bound across all the early
+      // chunks. (A scalar chunk filter in ascending order was measured
+      // and lost to the plain scan.)
+      double* const mins = scratch.chunk_mins.data();
+      blocktiles::chunk_mins(a, width, mins);
+      std::size_t best = 0;
+      for (std::size_t b = 1; b < blocks; ++b)
+        if (mins[b] < mins[best]) best = b;
+      const std::size_t b0 = best * kChunk;
+      for (std::size_t i = b0; i < b0 + kChunk; ++i) consider(a[i], t0 + i);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        if (b == best) continue;
+        // Strict '>': a chunk whose min ties the k-th distance may hold
+        // an equal-distance lower index, which the set does admit.
+        if (count == k && mins[b] > hits[k - 1].distance) continue;
+        const std::size_t i0 = b * kChunk;
+        for (std::size_t i = i0; i < i0 + kChunk; ++i) consider(a[i], t0 + i);
+      }
+    }
+    for (std::size_t i = blocks * kChunk; i < width; ++i)
+      consider(a[i], t0 + i);
+  }
+  return {hits, count};
+}
+
 double BlockedKnnIndex::nearest_distance(std::span<const double> q,
                                          Scratch& scratch) const {
   APPCLASS_EXPECTS(built());
@@ -166,14 +296,14 @@ double BlockedKnnIndex::nearest_distance(std::span<const double> q,
   const std::size_t n = labels_.size();
   scratch.acc.resize(kTile);
   double best = std::numeric_limits<double>::infinity();
-  const double qnorm = query_norm(q);
+  const double qnorm = query_norm(q.data(), 1);
   for (std::size_t t0 = 0; t0 < n; t0 += kTile) {
     const std::size_t width = std::min(kTile, n - t0);
     if (tile_lower_bound(t0 / kTile, qnorm) > best) {
       ++scratch.pruned_tiles;
       continue;
     }
-    tile_distances(q, t0, width, scratch.acc);
+    tile_distances(q.data(), 1, t0, width, scratch.acc);
     for (std::size_t i = 0; i < width; ++i)
       best = std::min(best, scratch.acc[i]);
   }

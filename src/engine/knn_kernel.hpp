@@ -37,6 +37,46 @@ namespace appclass::engine {
 
 enum class DistanceMetric { kEuclidean, kManhattan };
 
+/// A batch of query points in the kernel's own feature-major SoA layout:
+/// feature j of query i lives at data()[j * stride() + i]. Producers
+/// (the pipeline's batched normalize+project stage) write straight into
+/// this layout, so the kernel consumes query points without any
+/// per-snapshot repacking or per-query allocation. Grow-only: reset()
+/// reuses the backing store across batches once it has seen the largest
+/// batch.
+class QueryBlock {
+ public:
+  /// Prepares the block for `count` points of `dims` features. Contents
+  /// are unspecified until every point is written.
+  void reset(std::size_t dims, std::size_t count) {
+    dims_ = dims;
+    count_ = count;
+    if (count > capacity_) capacity_ = count;
+    if (data_.size() < dims_ * capacity_) data_.resize(dims_ * capacity_);
+  }
+
+  std::size_t dims() const noexcept { return dims_; }
+  std::size_t count() const noexcept { return count_; }
+  /// Distance (in doubles) between consecutive features of one point.
+  std::size_t stride() const noexcept { return capacity_; }
+
+  /// Base of point i: feature j at point(i)[j * stride()].
+  double* point(std::size_t i) noexcept { return data_.data() + i; }
+  const double* point(std::size_t i) const noexcept {
+    return data_.data() + i;
+  }
+
+  double at(std::size_t i, std::size_t j) const noexcept {
+    return data_[j * capacity_ + i];
+  }
+
+ private:
+  std::vector<double> data_;  ///< [dims_][capacity_] feature-major
+  std::size_t dims_ = 0;
+  std::size_t count_ = 0;
+  std::size_t capacity_ = 0;
+};
+
 class BlockedKnnIndex {
  public:
   /// Points per tile: 256 doubles = 2 KiB per feature column slice, so a
@@ -61,6 +101,9 @@ class BlockedKnnIndex {
   struct Scratch {
     std::vector<double> acc;
     std::vector<Hit> hits;
+    /// Per-8-candidate chunk minima of `acc`, filled by the batched scan
+    /// so its selection loop can skip whole chunks (see top_k_block).
+    std::vector<double> chunk_mins;
     /// Tiles skipped by the norm-bound prune since construction (or the
     /// caller's last reset); accumulates across queries so shard spans
     /// can report prune effectiveness.
@@ -89,6 +132,16 @@ class BlockedKnnIndex {
   std::span<const Hit> top_k(std::span<const double> q,
                              Scratch& scratch) const;
 
+  /// Same query, reading point `i` of a feature-major QueryBlock in
+  /// place (stride = block.stride()). This is the batched-ingest entry
+  /// point: it runs the tuned block scan (no-fill distance tiles plus a
+  /// branch-free threshold filter over the selection sweep), which is
+  /// bit-identical to the span overload on the same coordinates — the
+  /// per-feature arithmetic, candidate order, and tie handling are the
+  /// reference scan's, only provably-skippable work is skipped.
+  std::span<const Hit> top_k(const QueryBlock& block, std::size_t i,
+                             Scratch& scratch) const;
+
   /// Metric-space distance to the single nearest training point
   /// (squared L2 under Euclidean — take sqrt for the novelty score).
   double nearest_distance(std::span<const double> q,
@@ -99,14 +152,32 @@ class BlockedKnnIndex {
   Vote vote(std::span<const Hit> hits) const;
 
  private:
+  /// Shared strided implementation: feature j of the query at
+  /// q[j * qstride]. The span path passes qstride = 1, the QueryBlock
+  /// path its stride — per-feature arithmetic and order are identical.
+  std::span<const Hit> top_k_strided(const double* q, std::size_t qstride,
+                                     Scratch& scratch) const;
+  /// The tuned scan behind the QueryBlock overload. Output-identical to
+  /// top_k_strided; faster on drain-sized batches because the selection
+  /// sweep tests candidate runs against the current k-th distance with a
+  /// branch-free compare-OR before touching the insertion loop, and the
+  /// distance tiles skip their zeroing pass.
+  std::span<const Hit> top_k_block(const double* q, std::size_t qstride,
+                                   Scratch& scratch) const;
   /// Computes distances of points [t0, t0+width) into scratch.acc.
-  void tile_distances(std::span<const double> q, std::size_t t0,
+  void tile_distances(const double* q, std::size_t qstride, std::size_t t0,
                       std::size_t width, std::vector<double>& acc) const;
+  /// tile_distances with the first feature storing instead of adding
+  /// into a zeroed accumulator (0 + term == term for the non-negative
+  /// per-feature terms, so results are bit-identical).
+  void tile_distances_nofill(const double* q, std::size_t qstride,
+                             std::size_t t0, std::size_t width,
+                             std::vector<double>& acc) const;
   /// Reverse-triangle-inequality lower bound of tile t for a query of
   /// norm `qnorm` (metric space: squared for L2), slackened for FP
   /// safety; 0 when the tile cannot be pruned.
   double tile_lower_bound(std::size_t t, double qnorm) const;
-  double query_norm(std::span<const double> q) const;
+  double query_norm(const double* q, std::size_t qstride) const;
 
   std::size_t dims_ = 0;
   std::size_t k_ = 3;

@@ -1,0 +1,118 @@
+// Fixed-capacity, overwrite-aware snapshot ring — the FleetStream
+// backlog's storage.
+//
+// Same idiom as the obs flight recorder's per-thread event ring: a flat
+// slot array with a head index, where "push" hands out a *slot to
+// assign into* rather than copy-constructing a fresh element. Slots are
+// never destroyed by clear()/swap(), so a drained ring keeps its warmed
+// Snapshot payloads (the node_ip string capacity in particular) and a
+// steady-state push→drain cycle re-assigns in place without touching
+// the heap. Growth is geometric and grow-only; the owner decides the
+// overflow policy (drop the newcomer, or displace_oldest() to
+// overwrite) — the ring only provides the mechanics.
+//
+// Each slot carries an optional WAL sequence number (kNoSeq when the
+// snapshot was accepted while no durability hook was installed), so the
+// drain can compute an exact ingest horizon even when the hook was
+// attached or detached mid-stream.
+//
+// Not thread-safe; FleetStream serializes access under its own lock.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "metrics/snapshot.hpp"
+
+namespace appclass::engine {
+
+class SnapshotRing {
+ public:
+  /// Sentinel: this slot was accepted without a durability hook.
+  static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
+
+  struct Slot {
+    metrics::Snapshot snapshot;
+    std::uint64_t seq = kNoSeq;
+  };
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Allocations performed since construction (initial sizing + every
+  /// geometric growth) — the "is steady state actually allocation-free"
+  /// probe the backpressure metrics export.
+  std::uint64_t grows() const noexcept { return grows_; }
+
+  /// Grow-only: relinearizes the live slots to the front of a larger
+  /// array. No-op when already at least `cap` slots.
+  void reserve(std::size_t cap) {
+    if (cap <= slots_.size()) return;
+    std::vector<Slot> next(std::max<std::size_t>(
+        {cap, slots_.size() * 2, kMinCapacity}));
+    for (std::size_t i = 0; i < count_; ++i) next[i] = std::move(at(i));
+    slots_.swap(next);
+    head_ = 0;
+    ++grows_;
+  }
+
+  /// Appends one logical slot and returns it for assignment; grows when
+  /// full. The returned slot holds a previous cycle's payload — assign
+  /// both fields.
+  Slot& append() {
+    if (count_ == slots_.size()) reserve(count_ + 1);
+    Slot& slot = slots_[(head_ + count_) % slots_.size()];
+    ++count_;
+    return slot;
+  }
+
+  /// Overwrite-oldest: retires the oldest entry and returns the slot at
+  /// the new newest logical position for assignment (size unchanged).
+  /// When the ring is physically full that is the retired entry's own
+  /// storage; when logical size < capacity it is the next warm slot, and
+  /// the retired payload re-enters the rotation later. Requires a
+  /// non-empty ring.
+  Slot& displace_oldest() {
+    APPCLASS_EXPECTS(count_ > 0);
+    head_ = (head_ + 1) % slots_.size();
+    return slots_[(head_ + count_ - 1) % slots_.size()];
+  }
+
+  /// Logical indexing, 0 = oldest.
+  Slot& at(std::size_t i) {
+    APPCLASS_EXPECTS(i < count_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+  const Slot& at(std::size_t i) const {
+    APPCLASS_EXPECTS(i < count_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  /// Forgets the contents but keeps every warmed slot.
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  void swap(SnapshotRing& other) noexcept {
+    slots_.swap(other.slots_);
+    std::swap(head_, other.head_);
+    std::swap(count_, other.count_);
+    std::swap(grows_, other.grows_);
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  std::vector<Slot> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace appclass::engine

@@ -161,7 +161,16 @@ bool ThreadPool::run_one(Job& job, std::size_t deque_hint) {
   return true;
 }
 
+namespace {
+/// See current_worker_slot(): workers claim slot worker_index + 1, every
+/// other thread reports the shared caller slot 0.
+thread_local std::size_t t_worker_slot = 0;
+}  // namespace
+
+std::size_t current_worker_slot() noexcept { return t_worker_slot; }
+
 void ThreadPool::worker_loop(std::size_t worker_index) {
+  t_worker_slot = worker_index + 1;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     std::shared_ptr<Job> job;

@@ -43,6 +43,14 @@ class Gauge;
 
 namespace appclass::engine {
 
+/// Scratch-pool placement hint for the calling thread: pool worker i
+/// reports i + 1, every non-pool thread (including cooperative callers
+/// inside parallel_for) reports 0. Purely a hint — distinct threads may
+/// report the same slot, so pools keyed by it must still lease slots
+/// atomically; the hint just makes the common case a one-probe hit on a
+/// worker-warm slot.
+std::size_t current_worker_slot() noexcept;
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers (clamped to >= 1). `threads == 0` means one

@@ -15,6 +15,10 @@ struct BusMetrics {
       "appclass_bus_announcements_total");
   obs::Gauge& listeners =
       obs::MetricsRegistry::global().gauge("appclass_bus_listeners");
+  /// Listener-list copies, i.e. the bus's only allocating operations —
+  /// a steady-state announce workload must not move this counter.
+  obs::Counter& rebuilds = obs::MetricsRegistry::global().counter(
+      "appclass_bus_listener_rebuilds_total");
 };
 
 BusMetrics& bus_metrics() {
@@ -24,37 +28,53 @@ BusMetrics& bus_metrics() {
 
 }  // namespace
 
+void MetricBus::publish_locked(std::unique_ptr<const ListenerList> next) {
+  bus_metrics().listeners.set(static_cast<double>(next->size()));
+  bus_metrics().rebuilds.inc();
+  // Release pairs with announce()'s acquire load: a reader that sees the
+  // new pointer sees the fully built list behind it. The superseded list
+  // stays alive in retained_ for any announce still iterating it.
+  retained_.push_back(std::move(next));
+  active_.store(retained_.back().get(), std::memory_order_release);
+}
+
 SubscriptionId MetricBus::subscribe(Listener listener) {
   APPCLASS_EXPECTS(listener != nullptr);
   const std::lock_guard lock(mutex_);
   const SubscriptionId id = next_id_++;
-  listeners_.push_back(Entry{id, std::move(listener)});
-  bus_metrics().listeners.set(static_cast<double>(listeners_.size()));
+  // Copy-on-write: in-flight announces keep iterating the old list.
+  const ListenerList* current = active_.load(std::memory_order_relaxed);
+  auto next = current != nullptr ? std::make_unique<ListenerList>(*current)
+                                 : std::make_unique<ListenerList>();
+  next->push_back(Entry{id, std::move(listener)});
+  publish_locked(std::move(next));
   return id;
 }
 
 void MetricBus::unsubscribe(SubscriptionId id) {
   const std::lock_guard lock(mutex_);
-  std::erase_if(listeners_, [id](const Entry& e) { return e.id == id; });
-  bus_metrics().listeners.set(static_cast<double>(listeners_.size()));
+  const ListenerList* current = active_.load(std::memory_order_relaxed);
+  auto next = current != nullptr ? std::make_unique<ListenerList>(*current)
+                                 : std::make_unique<ListenerList>();
+  std::erase_if(*next, [id](const Entry& e) { return e.id == id; });
+  publish_locked(std::move(next));
 }
 
 void MetricBus::announce(const metrics::Snapshot& snapshot) {
-  // Copy the listener list under the lock, invoke outside it, so a listener
-  // may (un)subscribe re-entrantly without deadlocking.
-  std::vector<Listener> current;
-  {
-    const std::lock_guard lock(mutex_);
-    current.reserve(listeners_.size());
-    for (const auto& e : listeners_) current.push_back(e.listener);
-  }
-  for (const auto& l : current) l(snapshot);
+  // The whole read side: one acquire load. The list it yields is
+  // immutable and retained until the bus dies, so no pin (lock or
+  // refcount) is needed before invoking, and a listener may
+  // (un)subscribe re-entrantly without deadlocking — the re-entrant
+  // change lands in a fresh list and takes effect on the next announce.
+  const ListenerList* current = active_.load(std::memory_order_acquire);
+  if (current != nullptr)
+    for (const auto& e : *current) e.listener(snapshot);
   bus_metrics().announcements.inc();
 }
 
 std::size_t MetricBus::listener_count() const {
-  const std::lock_guard lock(mutex_);
-  return listeners_.size();
+  const ListenerList* current = active_.load(std::memory_order_acquire);
+  return current != nullptr ? current->size() : 0;
 }
 
 Gmond::Gmond(std::string node_ip, MetricBus& bus, int announce_interval_s)

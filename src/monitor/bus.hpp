@@ -8,7 +8,9 @@
 // dashboards) receive the full subnet stream.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -22,6 +24,20 @@ using SubscriptionId = std::size_t;
 
 /// An in-process stand-in for the Ganglia multicast channel. Thread-safe:
 /// announcements and (un)subscriptions may come from different threads.
+///
+/// The listener list is RCU with deferred reclamation: announce() reads
+/// the current immutable list through one atomic pointer load — no lock,
+/// no refcount traffic, no allocation — and a listener may (un)subscribe
+/// re-entrantly without deadlocking. Only subscribe/unsubscribe build a
+/// new list (and allocate); superseded lists are retained until the bus
+/// is destroyed rather than freed, so in-flight announces never race
+/// reclamation. Retention grows with subscription churn only — it is
+/// control-plane rare by design, and the
+/// appclass_bus_listener_rebuilds_total counter watches it.
+///
+/// Consequence of the read side being unsynchronized (same as the old
+/// refcount scheme): a listener may still observe announcements that
+/// were in flight when unsubscribe() returned.
 class MetricBus {
  public:
   using Listener = std::function<void(const metrics::Snapshot&)>;
@@ -33,17 +49,27 @@ class MetricBus {
   void unsubscribe(SubscriptionId id);
 
   /// Publishes one node snapshot to all current listeners.
+  /// Allocation- and lock-free: one atomic load of the current list.
   void announce(const metrics::Snapshot& snapshot);
 
   std::size_t listener_count() const;
 
  private:
-  mutable std::mutex mutex_;
   struct Entry {
     SubscriptionId id;
     Listener listener;
   };
-  std::vector<Entry> listeners_;
+  using ListenerList = std::vector<Entry>;
+
+  /// Swaps in `next` as the active list, retaining the old one. Caller
+  /// must hold mutex_.
+  void publish_locked(std::unique_ptr<const ListenerList> next);
+
+  mutable std::mutex mutex_;  // guards retained_ + next_id_ (writers only)
+  /// Every list ever published, newest last; active_ points at the
+  /// newest. Never shrinks while the bus lives (deferred reclamation).
+  std::vector<std::unique_ptr<const ListenerList>> retained_;
+  std::atomic<const ListenerList*> active_{nullptr};
   SubscriptionId next_id_ = 1;
 };
 

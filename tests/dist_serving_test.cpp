@@ -88,6 +88,35 @@ TEST(DistServing, ParseRejectsInvalidModeCombinations) {
   }
 }
 
+TEST(DistServing, ParseRejectsNonDigitNumericFlags) {
+  // Numeric flag values are digits-only: strtoll-style acceptance of
+  // leading whitespace, signs, or trailing garbage ("--port= 80",
+  // "--port=+80", "--cycles=1e3") silently parsed the wrong number —
+  // every value here is a non-negative count/port, so reject outright.
+  const std::vector<std::vector<std::string>> invalid = {
+      {"--port= 80"},
+      {"--port=+80"},
+      {"--port=-0"},
+      {"--port=80 "},
+      {"--duration=1e3"},
+      {"--cycles=0x4"},
+      {"--max-backlog=  7"},
+      {"--sync-every=+1"},
+      {"--checkpoint-every=2\n"},
+      {"--drift-window=64kb"},
+      {"--port=99999999999999999999"},  // longer than any valid value
+  };
+  for (const auto& flags : invalid) {
+    const ParseResult result = parse_serve_args("m", flags);
+    EXPECT_FALSE(result.options.has_value()) << "'" << flags.front() << "'";
+    EXPECT_EQ(result.exit_code, 2) << "'" << flags.front() << "'";
+  }
+  // Plain digit strings still parse.
+  const ParseResult ok = parse_serve_args("m", {"--port=8080"});
+  ASSERT_TRUE(ok.options.has_value());
+  EXPECT_EQ(ok.options->port, 8080);
+}
+
 TEST(DistServing, ParseKeepsLegacySingleModeFlags) {
   const ParseResult result = parse_serve_args(
       "m", {"--port=9001", "--duration=3", "--drift-window=64",

@@ -1,0 +1,430 @@
+// The streaming-ingest path's zero-allocation and overflow contracts:
+// the SnapshotRing mechanics (wraparound, displacement, warm-slot reuse),
+// the FleetStream overflow policies and hook-attach/horizon semantics,
+// the RCU bus announce, and — the headline regression guard — an
+// operator-new counter proving a warmed push→drain cycle touches the
+// heap zero times.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/online.hpp"
+#include "core/pipeline.hpp"
+#include "core_test_util.hpp"
+#include "engine/fleet.hpp"
+#include "engine/snapshot_ring.hpp"
+#include "monitor/bus.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Every operator-new form funnels through
+// malloc here so the tests below can assert "this region performed N
+// heap allocations" — the only reliable way to keep the zero-allocation
+// claim from regressing one vector at a time.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size ? size : align) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+// ---------------------------------------------------------------------------
+
+namespace appclass {
+namespace {
+
+using engine::SnapshotRing;
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+metrics::Snapshot grid_snapshot(core::ApplicationClass cls, std::uint64_t seed,
+                                metrics::SimTime t,
+                                const std::string& node_ip = "10.0.0.1") {
+  linalg::Rng rng(seed);
+  metrics::Snapshot s = core::testing::synthetic_snapshot(cls, rng, t);
+  s.node_ip = node_ip;
+  return s;
+}
+
+// --- SnapshotRing mechanics ------------------------------------------------
+
+TEST(SnapshotRingTest, AppendWrapsAndKeepsLogicalOrder) {
+  SnapshotRing ring;
+  ring.reserve(4);
+  const std::size_t cap = ring.capacity();
+  ASSERT_GE(cap, 4u);
+  // Fill, drain a few, refill past the physical end: logical order must
+  // survive the wraparound.
+  for (std::size_t i = 0; i < cap; ++i) ring.append().seq = i;
+  EXPECT_EQ(ring.size(), cap);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  // Offset the head by displacing so the logical view wraps the array:
+  // the survivors shift to the front, the displaced slots re-enter as
+  // the newest entries.
+  for (std::size_t i = 0; i < cap; ++i) ring.append().seq = 100 + i;
+  for (std::size_t i = 0; i < cap / 2; ++i)
+    ring.displace_oldest().seq = 200 + i;
+  ASSERT_EQ(ring.size(), cap);
+  for (std::size_t i = 0; i < cap / 2; ++i)
+    EXPECT_EQ(ring.at(i).seq, 100 + cap / 2 + i) << "i=" << i;
+  for (std::size_t i = 0; i < cap / 2; ++i)
+    EXPECT_EQ(ring.at(cap / 2 + i).seq, 200 + i) << "i=" << i;
+}
+
+TEST(SnapshotRingTest, GrowthRelinearizesLiveSlots) {
+  SnapshotRing ring;
+  const std::uint64_t grows_before = ring.grows();
+  for (std::uint64_t i = 0; i < 100; ++i) ring.append().seq = i;
+  EXPECT_EQ(ring.size(), 100u);
+  EXPECT_GT(ring.grows(), grows_before);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(ring.at(i).seq, i);
+}
+
+TEST(SnapshotRingTest, DisplaceOldestReusesSlotAsNewest) {
+  SnapshotRing ring;
+  ring.reserve(4);
+  const std::size_t cap = ring.capacity();
+  for (std::uint64_t i = 0; i < cap; ++i) {
+    SnapshotRing::Slot& slot = ring.append();
+    slot.seq = i;
+    slot.snapshot.time = static_cast<metrics::SimTime>(i);
+  }
+  SnapshotRing::Slot& displaced = ring.displace_oldest();
+  EXPECT_EQ(displaced.seq, 0u);  // full ring: the retired slot's storage
+  displaced.seq = 99;
+  EXPECT_EQ(ring.size(), cap);  // ...size unchanged...
+  EXPECT_EQ(ring.at(0).seq, 1u);
+  EXPECT_EQ(ring.at(ring.size() - 1).seq, 99u);  // ...slot is now newest
+}
+
+TEST(SnapshotRingTest, DisplaceOnPartiallyFullRingKeepsLogicalWindow) {
+  // The FleetStream case: logical size (max_backlog) below physical
+  // capacity. Displacing must hand back the slot at the *newest logical
+  // position*, not the retired slot's storage — assigning anywhere else
+  // would leave a stale entry inside the window.
+  SnapshotRing ring;
+  ring.reserve(8);
+  ASSERT_GT(ring.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) ring.append().seq = i;
+  for (std::uint64_t round = 0; round < 2 * ring.capacity(); ++round) {
+    ring.displace_oldest().seq = 10 + round;
+    ASSERT_EQ(ring.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      const std::uint64_t expected =
+          round + 1 + i < 4 ? round + 1 + i : 10 + (round + 1 + i) - 4;
+      EXPECT_EQ(ring.at(i).seq, expected) << "round=" << round << " i=" << i;
+    }
+  }
+}
+
+TEST(SnapshotRingTest, ClearAndSwapKeepWarmedSlots) {
+  SnapshotRing ring;
+  ring.append().snapshot.node_ip =
+      "a-node-ip-long-enough-to-defeat-small-string-optimization";
+  const std::size_t cap = ring.capacity();
+  ring.clear();
+  EXPECT_EQ(ring.capacity(), cap);  // slots survive clear()
+  // A warmed slot hands back its string capacity: re-appending and
+  // assigning an equally long name must not allocate.
+  const std::string name(50, 'x');
+  SnapshotRing::Slot& slot = ring.append();
+  const std::uint64_t before = allocations();
+  slot.snapshot.node_ip = name;
+  EXPECT_EQ(allocations(), before);
+
+  SnapshotRing other;
+  other.swap(ring);
+  EXPECT_EQ(other.capacity(), cap);
+  EXPECT_EQ(other.size(), 1u);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+// --- MetricBus (RCU announce) ---------------------------------------------
+
+TEST(BusIngestTest, AnnounceIsAllocationFree) {
+  monitor::MetricBus bus;
+  std::size_t seen = 0;
+  bus.subscribe([&seen](const metrics::Snapshot&) { ++seen; });
+  bus.subscribe([&seen](const metrics::Snapshot&) { ++seen; });
+  const metrics::Snapshot snapshot =
+      grid_snapshot(core::ApplicationClass::kCpu, 1, 0);
+  bus.announce(snapshot);  // warm any lazy metrics singletons
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 100; ++i) bus.announce(snapshot);
+  EXPECT_EQ(allocations(), before);
+  EXPECT_EQ(seen, 202u);
+}
+
+TEST(BusIngestTest, ListenerMayUnsubscribeReentrantly) {
+  monitor::MetricBus bus;
+  std::size_t calls = 0;
+  monitor::SubscriptionId self = 0;
+  self = bus.subscribe([&](const metrics::Snapshot&) {
+    ++calls;
+    bus.unsubscribe(self);  // rebuilds the list while announce iterates
+  });
+  std::size_t other_calls = 0;
+  bus.subscribe([&](const metrics::Snapshot&) { ++other_calls; });
+
+  const metrics::Snapshot snapshot =
+      grid_snapshot(core::ApplicationClass::kIdle, 2, 0);
+  bus.announce(snapshot);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(other_calls, 1u);
+  EXPECT_EQ(bus.listener_count(), 1u);
+  bus.announce(snapshot);
+  EXPECT_EQ(calls, 1u);  // unsubscribed listener no longer invoked
+  EXPECT_EQ(other_calls, 2u);
+}
+
+// --- FleetStream overflow, hook, and peak semantics ------------------------
+
+class FleetIngestTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new core::ClassificationPipeline();
+    pipeline_->train(core::testing::synthetic_training());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+
+  /// `count` grid-aligned snapshots (t = t0, t0+5, ...) of one class.
+  static std::vector<metrics::Snapshot> stream(core::ApplicationClass cls,
+                                               std::size_t count,
+                                               metrics::SimTime t0 = 0) {
+    std::vector<metrics::Snapshot> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      out.push_back(grid_snapshot(
+          cls, 10 + i, t0 + static_cast<metrics::SimTime>(i) * 5));
+    return out;
+  }
+
+  static core::ClassificationPipeline* pipeline_;
+};
+
+core::ClassificationPipeline* FleetIngestTest::pipeline_ = nullptr;
+
+TEST_F(FleetIngestTest, OverwriteOldestKeepsNewestSnapshots) {
+  engine::FleetStream fleet(
+      *pipeline_, {}, /*max_backlog=*/4,
+      engine::FleetStream::OverflowPolicy::kOverwriteOldest);
+  const auto snapshots = stream(core::ApplicationClass::kCpu, 6);
+  for (const auto& snapshot : snapshots) EXPECT_TRUE(fleet.push(snapshot));
+  EXPECT_EQ(fleet.backlog(), 4u);
+  EXPECT_EQ(fleet.overwritten(), 2u);
+  EXPECT_EQ(fleet.dropped(), 0u);
+
+  // The drain must see the 4 *newest* snapshots, in push order — the
+  // classifier's window ends at the stream's last time, not the first.
+  EXPECT_EQ(fleet.drain(), 4u);
+  const core::OnlineStateImage state = fleet.online().export_state();
+  ASSERT_EQ(state.nodes.size(), 1u);
+  ASSERT_EQ(state.nodes[0].window.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(state.nodes[0].window[i].first, snapshots[2 + i].time);
+}
+
+TEST_F(FleetIngestTest, DropNewestStillRejectsOnFull) {
+  engine::FleetStream fleet(*pipeline_, {}, /*max_backlog=*/2,
+                            engine::FleetStream::OverflowPolicy::kDropNewest);
+  const auto snapshots = stream(core::ApplicationClass::kIo, 5);
+  std::size_t accepted = 0;
+  for (const auto& snapshot : snapshots)
+    if (fleet.push(snapshot)) ++accepted;
+  EXPECT_EQ(accepted, 2u);
+  EXPECT_EQ(fleet.dropped(), 3u);
+  EXPECT_EQ(fleet.overwritten(), 0u);
+}
+
+TEST_F(FleetIngestTest, HookAttachMidStreamAdvancesHorizonExactly) {
+  engine::FleetStream fleet(*pipeline_);
+  const auto snapshots = stream(core::ApplicationClass::kNetwork, 6);
+
+  // Pre-hook pushes carry no sequence and never advance the horizon.
+  fleet.push(snapshots[0]);
+  fleet.push(snapshots[1]);
+  EXPECT_EQ(fleet.drain(), 2u);
+  EXPECT_EQ(fleet.ingested_wal_horizon(), 0u);
+
+  std::uint64_t next_seq = 7;  // a recovered WAL resumes mid-sequence
+  fleet.set_ingest_hook(
+      [&next_seq](const metrics::Snapshot&) { return next_seq++; });
+  fleet.push(snapshots[2]);
+  fleet.push(snapshots[3]);
+  EXPECT_EQ(fleet.drain(), 2u);
+  EXPECT_EQ(fleet.ingested_wal_horizon(), 9u);  // seqs 7,8 ingested
+
+  // An empty drain or a hookless interleave must not regress it.
+  EXPECT_EQ(fleet.drain(), 0u);
+  EXPECT_EQ(fleet.ingested_wal_horizon(), 9u);
+
+  // Re-installing a hook starts a fresh log: horizon resets to 0.
+  fleet.set_ingest_hook(
+      [](const metrics::Snapshot&) -> std::uint64_t { return 0; });
+  EXPECT_EQ(fleet.ingested_wal_horizon(), 0u);
+  fleet.push(snapshots[4]);
+  EXPECT_EQ(fleet.drain(), 1u);
+  EXPECT_EQ(fleet.ingested_wal_horizon(), 1u);
+}
+
+TEST_F(FleetIngestTest, BacklogPeakIsStickyAcrossDrainsAndResetByAttach) {
+  engine::FleetStream fleet(*pipeline_);
+  const auto snapshots = stream(core::ApplicationClass::kMemory, 8);
+  for (const auto& snapshot : snapshots) fleet.push(snapshot);
+  EXPECT_EQ(fleet.backlog_peak(), 8u);
+  EXPECT_EQ(fleet.drain(), 8u);
+  fleet.push(snapshots[0]);
+  EXPECT_EQ(fleet.backlog_peak(), 8u);  // sticky across the drain
+
+  // attach() starts a new subscription episode with a fresh peak.
+  monitor::MetricBus bus;
+  fleet.attach(bus);
+  EXPECT_EQ(fleet.backlog_peak(), 0u);
+  bus.announce(snapshots[0]);
+  bus.announce(snapshots[1]);
+  EXPECT_EQ(fleet.backlog_peak(), 3u);  // 1 pre-attach + 2 announced
+  fleet.detach();
+}
+
+// --- Batched classification bit-identity -----------------------------------
+
+TEST_F(FleetIngestTest, BatchPathMatchesPerSnapshotClassify) {
+  std::vector<metrics::Snapshot> mixed;
+  for (std::size_t c = 0; c < core::kClassCount; ++c) {
+    const auto part = stream(core::class_from_index(c), 12,
+                             static_cast<metrics::SimTime>(c) * 1000);
+    mixed.insert(mixed.end(), part.begin(), part.end());
+  }
+
+  for (const bool detailed : {false, true}) {
+    core::SnapshotBatch batch;
+    pipeline_->begin_snapshot_batch(batch, mixed.size(), detailed);
+    auto scratch = pipeline_->acquire_scratch();
+    for (std::size_t i = 0; i < mixed.size(); ++i)
+      pipeline_->classify_snapshot_into(mixed[i], batch, i, *scratch);
+
+    for (std::size_t i = 0; i < mixed.size(); ++i) {
+      EXPECT_EQ(batch.label(i), pipeline_->classify(mixed[i])) << "i=" << i;
+      if (!detailed) continue;
+      const core::SnapshotClassification expect =
+          pipeline_->classify_detailed(mixed[i]);
+      EXPECT_EQ(batch.detail(i).label, expect.label) << "i=" << i;
+      EXPECT_EQ(batch.detail(i).confidence, expect.confidence) << "i=" << i;
+      EXPECT_EQ(batch.detail(i).vote_margin, expect.vote_margin) << "i=" << i;
+      EXPECT_EQ(batch.detail(i).novelty, expect.novelty) << "i=" << i;
+      EXPECT_EQ(batch.detail(i).projected, expect.projected) << "i=" << i;
+    }
+  }
+}
+
+// --- The headline guard: zero allocations per warmed cycle -----------------
+
+TEST_F(FleetIngestTest, SteadyStatePushDrainCycleIsAllocationFree) {
+  core::OnlineOptions options;
+  engine::FleetStream fleet(*pipeline_, options);
+  monitor::MetricBus bus;
+  fleet.attach(bus);
+
+  // Stable per-node streams: every node keeps announcing its own class,
+  // so windows fill, coverage settles, and no change events fire inside
+  // the measured region. The snapshots are pre-generated so the region
+  // contains *only* the announce→push→drain→ingest path.
+  const std::size_t kNodes = core::kClassCount;
+  const std::size_t kPerCycle = 4;
+  std::vector<metrics::Snapshot> cycle;
+  for (std::size_t s = 0; s < kPerCycle; ++s)
+    for (std::size_t node = 0; node < kNodes; ++node)
+      cycle.push_back(grid_snapshot(core::class_from_index(node),
+                                    1000 + node * kPerCycle + s, 0,
+                                    "10.0." + std::to_string(node) + ".1"));
+  metrics::SimTime t = 0;
+  const auto run_cycle = [&] {
+    for (std::size_t s = 0; s < kPerCycle; ++s) {
+      for (std::size_t node = 0; node < kNodes; ++node) {
+        metrics::Snapshot& snapshot = cycle[s * kNodes + node];
+        snapshot.time = t;
+        bus.announce(snapshot);
+      }
+      t += options.sampling_interval_s;
+    }
+    return fleet.drain();
+  };
+
+  // Warmup: rings, batch, scratch pool, per-node windows, vote scratch,
+  // and every metrics singleton reach their steady footprint.
+  const std::size_t warm_cycles =
+      options.window / kPerCycle + 4;  // windows must fill AND start evicting
+  for (std::size_t i = 0; i < warm_cycles; ++i)
+    ASSERT_EQ(run_cycle(), kNodes * kPerCycle);
+
+  const std::uint64_t ring_grows_before = fleet.ring_grows();
+  const std::uint64_t before = allocations();
+  std::size_t drained = 0;
+  for (int i = 0; i < 10; ++i) drained += run_cycle();
+  const std::uint64_t after = allocations();
+
+  EXPECT_EQ(drained, 10u * kNodes * kPerCycle);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state ingest allocated " << (after - before) << " times over "
+      << drained << " snapshots";
+  EXPECT_EQ(fleet.ring_grows(), ring_grows_before);
+  fleet.detach();
+}
+
+}  // namespace
+}  // namespace appclass

@@ -156,6 +156,50 @@ TEST(EngineKernel, TieBreaksTowardLowerIndex) {
   EXPECT_EQ(hits[2].index, 2u);
 }
 
+TEST(EngineKernel, QueryBlockStridedPathMatchesContiguousPath) {
+  // The streaming drain lays query points feature-major in a QueryBlock
+  // (stride = block capacity); the strided loads must reproduce the
+  // contiguous span path bit-for-bit — only addresses change, never the
+  // order the per-feature terms are accumulated in.
+  for (const auto metric :
+       {DistanceMetric::kEuclidean, DistanceMetric::kManhattan}) {
+    const std::size_t dims = 3;
+    const linalg::Matrix points = random_points(700, dims, 11);
+    BlockedKnnIndex index;
+    index.build(points, cycling_labels(700), 3, metric);
+    BlockedKnnIndex::Scratch scratch;
+
+    const linalg::Matrix queries = random_points(40, dims, 12);
+    engine::QueryBlock block;
+    // Reset large then small: count < capacity forces stride > count, so
+    // the strided addressing is actually exercised.
+    block.reset(dims, 64);
+    block.reset(dims, queries.rows());
+    ASSERT_GT(block.stride(), queries.rows());
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+      double* point = block.point(i);
+      for (std::size_t j = 0; j < dims; ++j)
+        point[j * block.stride()] = queries(i, j);
+    }
+
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+      const auto strided = index.top_k(block, i, scratch);
+      // Copy before the second query: both calls share the scratch the
+      // returned span points into.
+      const std::vector<BlockedKnnIndex::Hit> strided_hits(strided.begin(),
+                                                           strided.end());
+      const auto contiguous = index.top_k(queries.row(i), scratch);
+      ASSERT_EQ(strided_hits.size(), contiguous.size());
+      for (std::size_t r = 0; r < contiguous.size(); ++r) {
+        EXPECT_EQ(strided_hits[r].distance, contiguous[r].distance)
+            << "query=" << i << " rank=" << r;
+        EXPECT_EQ(strided_hits[r].index, contiguous[r].index)
+            << "query=" << i << " rank=" << r;
+      }
+    }
+  }
+}
+
 TEST(EngineKernel, VoteMatchesSeedSemantics) {
   BlockedKnnIndex index;
   linalg::Matrix points{{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
