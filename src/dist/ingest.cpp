@@ -148,6 +148,8 @@ void IngestListener::handle_connection(int fd) {
   auto& duplicates_total = registry.counter("appclass_dist_duplicates_total");
   auto& errors_total =
       registry.counter("appclass_dist_protocol_errors_total");
+  auto& e2e_ingest_hist =
+      registry.histogram("appclass_e2e_ingest_seconds");
   registry.counter("appclass_dist_connections_total").inc();
 
   {
@@ -218,6 +220,19 @@ void IngestListener::handle_connection(int fd) {
       return;
     }
     frames_total.inc();
+    if (frame.announce_us > 0) {
+      // Announce->ingested latency across the process boundary; the two
+      // hosts' wall clocks may disagree, so negative skew clamps to 0.
+      const std::uint64_t now_us = wall_now_us();
+      const double e2e_s =
+          now_us > frame.announce_us
+              ? static_cast<double>(now_us - frame.announce_us) * 1e-6
+              : 0.0;
+      e2e_ingest_hist.observe(e2e_s);
+      if (frame.trace.trace_id != 0 &&
+          e2e_s >= e2e_ingest_hist.exemplar_value())
+        e2e_ingest_hist.set_exemplar(e2e_s, frame.trace.trace_id);
+    }
     expected_.store(expected + 1, std::memory_order_release);
     const auto ack = encode_ack(frame.seq);
     if (!send_all(fd, ack.data(), ack.size())) return;

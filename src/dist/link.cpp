@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "dist/wire.hpp"
+#include "obs/cardinality.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
@@ -26,11 +27,34 @@ timeval to_timeval(int ms) {
   return tv;
 }
 
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Peer label guard shared by every link in the process: a coordinator
+/// pointed at a churning worker set keeps bounded series cardinality.
+const std::string& peer_label(const std::string& host, std::uint16_t port) {
+  static obs::BoundedLabelSet peers(32);
+  return peers.admit(host + ":" + std::to_string(port));
+}
+
 }  // namespace
 
 WorkerLink::WorkerLink(std::string host, std::uint16_t port,
                        WorkerLinkOptions options)
-    : host_(std::move(host)), port_(port), options_(std::move(options)) {}
+    : host_(std::move(host)),
+      port_(port),
+      options_(std::move(options)),
+      e2e_durable_hist_(obs::MetricsRegistry::global().histogram(
+          "appclass_e2e_durable_ack_seconds")),
+      ack_rtt_hist_(obs::MetricsRegistry::global().histogram(
+          "appclass_dist_link_ack_rtt_seconds",
+          {{"peer", peer_label(host_, port_)}})),
+      horizon_lag_gauge_(obs::MetricsRegistry::global().gauge(
+          "appclass_dist_link_wal_horizon_lag",
+          {{"peer", peer_label(host_, port_)}})) {}
 
 WorkerLink::~WorkerLink() { disconnect(); }
 
@@ -107,16 +131,17 @@ bool WorkerLink::ensure_connected() {
           .counter("appclass_dist_link_reconnects_total")
           .inc();
       // Frames below the horizon were durable before the crash: retire
-      // them as acked. Resend the rest in order on the new connection.
-      while (!unacked_.empty() && unacked_.front().seq < hello.wal_next) {
-        acked_.fetch_add(1, std::memory_order_relaxed);
-        unacked_.pop_front();
-      }
+      // them as acked (the ack itself died with the connection, so no
+      // RTT sample, but announce->durable is real — this is exactly the
+      // slow path the freshness SLO exists to catch).
+      while (!unacked_.empty() && unacked_.front().seq < hello.wal_next)
+        retire_front(/*acked_on_wire=*/false);
       if (hello.wal_next > next_seq_)
         APPCLASS_LOG_WARN("dist.link_horizon_ahead", {"port", port_},
                           {"hello", hello.wal_next}, {"next", next_seq_});
       bool resent_ok = true;
-      for (const Pending& pending : unacked_) {
+      for (Pending& pending : unacked_) {
+        pending.sent_steady_us = steady_now_us();
         if (!write_bytes(pending.bytes)) {
           resent_ok = false;
           break;
@@ -147,12 +172,36 @@ bool WorkerLink::write_bytes(const std::vector<std::uint8_t>& bytes) {
   return true;
 }
 
+void WorkerLink::retire_front(bool acked_on_wire) {
+  const Pending& front = unacked_.front();
+  if (acked_on_wire && front.sent_steady_us > 0) {
+    const double rtt_s = static_cast<double>(std::max<std::int64_t>(
+                             steady_now_us() - front.sent_steady_us, 0)) *
+                         1e-6;
+    ack_rtt_hist_.observe(rtt_s);
+  }
+  if (front.announce_us > 0) {
+    const std::uint64_t now_us = wall_now_us();
+    const double e2e_s =
+        now_us > front.announce_us
+            ? static_cast<double>(now_us - front.announce_us) * 1e-6
+            : 0.0;  // clamp cross-host clock skew to zero
+    e2e_durable_hist_.observe(e2e_s);
+    // Slowest traced announce wins the exemplar: the trace id a human
+    // follows from the latency histogram into /fleet/traces.
+    if (front.trace_id != 0 && e2e_s >= e2e_durable_hist_.exemplar_value())
+      e2e_durable_hist_.set_exemplar(e2e_s, front.trace_id);
+    if (options_.on_durable) options_.on_durable(e2e_s);
+  }
+  acked_.fetch_add(1, std::memory_order_relaxed);
+  unacked_.pop_front();
+  horizon_lag_gauge_.set(static_cast<double>(unacked_.size()));
+}
+
 void WorkerLink::apply_ack(std::uint64_t seq) {
   // Acks are cumulative: seq and everything below is durable.
-  while (!unacked_.empty() && unacked_.front().seq <= seq) {
-    acked_.fetch_add(1, std::memory_order_relaxed);
-    unacked_.pop_front();
-  }
+  while (!unacked_.empty() && unacked_.front().seq <= seq)
+    retire_front(/*acked_on_wire=*/true);
 }
 
 bool WorkerLink::drain_acks(bool block) {
@@ -194,10 +243,14 @@ bool WorkerLink::send(const metrics::Snapshot& snapshot,
     break;
   }
 
-  Pending pending{next_seq_, encode_frame(snapshot, next_seq_, trace)};
+  const std::uint64_t announce_us = wall_now_us();
+  Pending pending{next_seq_,
+                  encode_frame(snapshot, next_seq_, trace, announce_us),
+                  announce_us, trace.trace_id, steady_now_us()};
   ++next_seq_;
   unacked_.push_back(std::move(pending));
   sent_.fetch_add(1, std::memory_order_relaxed);
+  horizon_lag_gauge_.set(static_cast<double>(unacked_.size()));
   obs::MetricsRegistry::global()
       .counter("appclass_dist_link_sent_total")
       .inc();

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "metrics/snapshot.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace appclass::dist {
@@ -48,6 +49,10 @@ struct WorkerLinkOptions {
   /// Checked between connect attempts and ack waits; true aborts the
   /// operation (graceful shutdown mid-retry).
   std::function<bool()> should_stop;
+  /// Called once per frame when it becomes durable on the worker, with
+  /// the announce->durable latency in seconds — the freshness SLI feed
+  /// (obs::SloTracker). Runs on the replay thread; keep it cheap.
+  std::function<void(double)> on_durable;
 };
 
 class WorkerLink {
@@ -90,6 +95,9 @@ class WorkerLink {
   struct Pending {
     std::uint64_t seq;
     std::vector<std::uint8_t> bytes;
+    std::uint64_t announce_us = 0;     ///< wall clock at first send
+    std::uint64_t trace_id = 0;        ///< for slow-sample exemplars
+    std::int64_t sent_steady_us = 0;   ///< monotonic, reset on resend
   };
 
   bool ensure_connected();
@@ -99,10 +107,19 @@ class WorkerLink {
   /// Reads acks; `block` waits for at least one (up to the timeout).
   bool drain_acks(bool block);
   void apply_ack(std::uint64_t seq);
+  /// Retires the head unacked frame: e2e latency histograms, exemplars,
+  /// and the on_durable hook. `acked_on_wire` false = retired via a
+  /// reconnect hello horizon (no RTT sample: the ack never arrived).
+  void retire_front(bool acked_on_wire);
 
   std::string host_;
   std::uint16_t port_;
   WorkerLinkOptions options_;
+  // Cached per-link series (peer-labeled through a BoundedLabelSet so a
+  // misconfigured fleet cannot mint unbounded cardinality).
+  obs::Histogram& e2e_durable_hist_;
+  obs::Histogram& ack_rtt_hist_;
+  obs::Gauge& horizon_lag_gauge_;
   int fd_ = -1;
   bool seq_adopted_ = false;
   std::uint64_t next_seq_ = 0;

@@ -28,9 +28,14 @@
 #include "dist/shard.hpp"
 #include "engine/fleet.hpp"
 #include "monitor/bus.hpp"
+#include "obs/cardinality.hpp"
+#include "obs/export.hpp"
+#include "obs/federate.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/scrape.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/recovery.hpp"
@@ -209,6 +214,7 @@ ParseResult parse_serve_args(const std::string& model_path,
                              const std::vector<std::string>& flags) {
   ServeOptions config;
   config.model_path = model_path;
+  bool saw_fleet_flag = false;
   for (const auto& flag : flags) {
     if (flag.rfind("--mode=", 0) == 0) {
       const std::string name = flag.substr(std::strlen("--mode="));
@@ -337,6 +343,48 @@ ParseResult parse_serve_args(const std::string& model_path,
         return {};
       }
       config.max_backlog = *parsed;
+    } else if (flag.rfind("--fleet-scrape-every=", 0) == 0) {
+      const auto parsed =
+          parse_int(flag.substr(std::strlen("--fleet-scrape-every=")));
+      if (!parsed || *parsed < 1) {
+        std::fprintf(
+            stderr, "serve: bad fleet scrape period '%s'\n",
+            flag.substr(std::strlen("--fleet-scrape-every=")).c_str());
+        return {};
+      }
+      config.fleet_scrape_every_ms = *parsed;
+      saw_fleet_flag = true;
+    } else if (flag.rfind("--slo-freshness-ms=", 0) == 0) {
+      const auto parsed =
+          parse_int(flag.substr(std::strlen("--slo-freshness-ms=")));
+      if (!parsed || *parsed < 1) {
+        std::fprintf(stderr, "serve: bad freshness threshold '%s'\n",
+                     flag.substr(std::strlen("--slo-freshness-ms=")).c_str());
+        return {};
+      }
+      config.slo_freshness_ms = *parsed;
+      saw_fleet_flag = true;
+    } else if (flag.rfind("--slo-window=", 0) == 0) {
+      const auto parsed =
+          parse_int(flag.substr(std::strlen("--slo-window=")));
+      if (!parsed || *parsed < 1 || *parsed > 86400) {
+        std::fprintf(stderr, "serve: bad SLO window '%s' (seconds, <= 1d)\n",
+                     flag.substr(std::strlen("--slo-window=")).c_str());
+        return {};
+      }
+      config.slo_window_s = *parsed;
+      saw_fleet_flag = true;
+    } else if (flag.rfind("--slo-objective=", 0) == 0) {
+      const auto parsed =
+          parse_int(flag.substr(std::strlen("--slo-objective=")));
+      if (!parsed || *parsed < 1 || *parsed > 99) {
+        std::fprintf(stderr,
+                     "serve: bad SLO objective '%s' (percent, 1-99)\n",
+                     flag.substr(std::strlen("--slo-objective=")).c_str());
+        return {};
+      }
+      config.slo_objective_pct = *parsed;
+      saw_fleet_flag = true;
     } else if (flag == "--supervised") {
       config.supervised = true;
     } else {
@@ -360,6 +408,12 @@ ParseResult parse_serve_args(const std::string& model_path,
     std::fprintf(stderr,
                  "serve: --cycles applies to the replaying modes (single, "
                  "coordinator), not worker\n");
+    return {};
+  }
+  if (config.mode != ServeMode::kCoordinator && saw_fleet_flag) {
+    std::fprintf(stderr,
+                 "serve: --fleet-scrape-every/--slo-* only apply to "
+                 "--mode=coordinator\n");
     return {};
   }
   if (config.mode == ServeMode::kCoordinator) {
@@ -517,7 +571,10 @@ int ServeApp::run_node() {
       {.bind_address = "127.0.0.1",
        .port = static_cast<std::uint16_t>(config.port),
        // A restarted worker may race its predecessor's dying socket.
-       .bind_retries = 4});
+       .bind_retries = 4,
+       // Trace dumps walk every thread ring under locks; a scrape loop
+       // pointed at /traces/recent must not become a recording stall.
+       .trace_dump_min_interval_ms = 100});
   server.add_route("/classes", "application/json",
                    [&health] { return health.classes_json(); });
   server.add_route("/drift", "application/json",
@@ -658,6 +715,18 @@ int ServeApp::run_coordinator() {
   std::fflush(stdout);
   const auto runs = core::record_canonical_runs();
 
+  // SLO verdict for the whole fleet: freshness fed by the links' durable
+  // acks (below), availability by the federation scraper's probe results.
+  const double objective =
+      static_cast<double>(config.slo_objective_pct) / 100.0;
+  obs::SloTracker slo(
+      {.freshness_objective = objective,
+       .freshness_threshold_s =
+           static_cast<double>(config.slo_freshness_ms) * 1e-3,
+       .availability_objective = objective,
+       .short_window_s = static_cast<int>(config.slo_window_s),
+       .long_window_s = static_cast<int>(config.slo_window_s * 12)});
+
   const dist::ShardMap shard_map(config.workers.size());
   std::vector<std::unique_ptr<dist::WorkerLink>> links;
   links.reserve(config.workers.size());
@@ -665,13 +734,95 @@ int ServeApp::run_coordinator() {
     links.push_back(std::make_unique<dist::WorkerLink>(
         worker.host, worker.ingest_port,
         dist::WorkerLinkOptions{
-            .should_stop = [] { return g_serve_stop != 0; }}));
+            .should_stop = [] { return g_serve_stop != 0; },
+            .on_durable = [&slo](double e2e_s) {
+              slo.record_freshness(e2e_s, obs::SloTracker::now_s());
+            }}));
 
   auto& announced_total =
       obs::MetricsRegistry::global().counter("appclass_dist_announced_total");
   std::atomic<std::uint64_t> announced{0};
   std::atomic<long long> cycles_done{0};
   std::atomic<bool> flushed{false};
+
+  // --- Metrics federation -----------------------------------------------
+  // A background scraper pulls every worker's /metrics on a fixed
+  // period, re-parses the text exposition, and caches the merged fleet
+  // registry — /fleet/metrics serves from this cache instead of fanning
+  // out per request, and every probe outcome feeds the availability SLI.
+  // A worker that stops answering keeps its last-good snapshot in the
+  // merge (stale beats absent mid-incident); its scrape health says so.
+  struct WorkerScrape {
+    std::uint64_t scrapes = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t consecutive_failures = 0;
+    std::uint64_t parse_errors = 0;
+    std::string last_error = "never";  ///< last outcome ("ok", "connect"...)
+    std::size_t last_bytes = 0;
+  };
+  std::mutex fleet_mutex;
+  std::string fleet_metrics_text;
+  std::size_t fleet_dropped_series = 0;
+  long long fleet_last_scrape_us = 0;
+  std::vector<WorkerScrape> worker_scrapes(config.workers.size());
+  std::vector<std::optional<obs::RegistrySnapshot>> last_parsed(
+      config.workers.size());
+  obs::BoundedLabelSet worker_labels(config.workers.size() + 1);
+  std::atomic<bool> fleet_stop{false};
+  std::thread fleet_thread([&] {
+    while (!fleet_stop.load(std::memory_order_acquire)) {
+      const auto scrape_start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < config.workers.size(); ++i) {
+        const WorkerEndpoint& worker = config.workers[i];
+        const dist::HttpResult res =
+            dist::http_get_ex(worker.host, worker.scrape_port, "/metrics");
+        slo.record_availability(res.ok(), obs::SloTracker::now_s());
+        std::optional<obs::RegistrySnapshot> parsed;
+        if (res.ok()) parsed = obs::parse_prometheus(res.body);
+        const std::lock_guard lock(fleet_mutex);
+        WorkerScrape& health = worker_scrapes[i];
+        ++health.scrapes;
+        if (parsed) {
+          health.consecutive_failures = 0;
+          health.last_error = "ok";
+          health.last_bytes = res.body.size();
+          last_parsed[i] = std::move(parsed);
+        } else {
+          ++health.failures;
+          ++health.consecutive_failures;
+          if (res.ok()) {
+            // Reachable but emitting text the parser rejects — a schema
+            // mismatch worth distinguishing from a dead worker.
+            ++health.parse_errors;
+            health.last_error = "parse";
+          } else {
+            health.last_error = dist::to_string(res.error);
+          }
+        }
+      }
+      {
+        const std::lock_guard lock(fleet_mutex);
+        std::vector<obs::FederationPart> parts;
+        for (std::size_t i = 0; i < last_parsed.size(); ++i)
+          if (last_parsed[i])
+            parts.push_back({std::to_string(i), *last_parsed[i]});
+        const obs::FederationResult merged =
+            obs::federate_snapshots(parts, &worker_labels);
+        fleet_metrics_text = obs::to_prometheus(merged.merged);
+        fleet_dropped_series = merged.dropped_series;
+        fleet_last_scrape_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - scrape_start)
+                .count();
+      }
+      // Sleep the period in small slices so shutdown stays prompt.
+      for (long long slept = 0;
+           slept < config.fleet_scrape_every_ms &&
+           !fleet_stop.load(std::memory_order_acquire);
+           slept += 20)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
 
   // All merge routes are assembled by scraping the workers' own
   // read-only routes — the coordinator holds no classifier state.
@@ -689,7 +840,8 @@ int ServeApp::run_coordinator() {
   obs::ScrapeServer server(
       {.bind_address = "127.0.0.1",
        .port = static_cast<std::uint16_t>(config.port),
-       .bind_retries = 4});
+       .bind_retries = 4,
+       .trace_dump_min_interval_ms = 100});
   server.add_route("/composition", "text/plain; version=1", [&] {
     const auto parts = fetch_all("/composition");
     if (!parts) return std::string("merge-error: worker unreachable\n");
@@ -788,12 +940,74 @@ int ServeApp::run_coordinator() {
         << ",\"complete\":" << (complete ? "true" : "false") << "}";
     return out.str();
   });
+  server.add_route("/fleet/metrics",
+                   "text/plain; version=0.0.4; charset=utf-8", [&] {
+                     const std::lock_guard lock(fleet_mutex);
+                     return fleet_metrics_text.empty()
+                                ? std::string(
+                                      "# federation: no worker scraped yet\n")
+                                : fleet_metrics_text;
+                   });
+  server.add_route("/fleet/workers", "application/json", [&] {
+    std::ostringstream out;
+    const std::lock_guard lock(fleet_mutex);
+    out << "{\"dropped_series\":" << fleet_dropped_series
+        << ",\"last_scrape_us\":" << fleet_last_scrape_us
+        << ",\"workers\":[";
+    for (std::size_t i = 0; i < worker_scrapes.size(); ++i) {
+      const WorkerScrape& health = worker_scrapes[i];
+      if (i) out << ',';
+      out << "{\"shard\":" << i
+          << ",\"scrape_port\":" << config.workers[i].scrape_port
+          << ",\"ingest_port\":" << config.workers[i].ingest_port
+          << ",\"scrapes\":" << health.scrapes
+          << ",\"failures\":" << health.failures
+          << ",\"consecutive_failures\":" << health.consecutive_failures
+          << ",\"parse_errors\":" << health.parse_errors
+          << ",\"last_error\":\"" << health.last_error << '"'
+          << ",\"last_bytes\":" << health.last_bytes
+          << ",\"sent\":" << links[i]->sent()
+          << ",\"acked\":" << links[i]->acked()
+          << ",\"in_flight\":" << links[i]->in_flight()
+          << ",\"reconnects\":" << links[i]->reconnects() << '}';
+    }
+    out << "]}";
+    return out.str();
+  });
+  server.add_route("/fleet/traces", "application/json", [&] {
+    // Live assembly (no cache): traces are an incident tool, and the
+    // stitcher tolerates any subset of workers answering.
+    std::vector<obs::TraceFleetPart> parts;
+    parts.push_back({"coordinator", obs::TraceRecorder::global()
+                                        .to_chrome_json(4 * 1024 * 1024)});
+    for (std::size_t i = 0; i < config.workers.size(); ++i) {
+      dist::HttpResult res =
+          dist::http_get_ex(config.workers[i].host,
+                            config.workers[i].scrape_port, "/traces/recent");
+      if (res.ok())
+        parts.push_back(
+            {"worker-" + std::to_string(i), std::move(res.body)});
+    }
+    return obs::stitch_chrome_traces(parts).json;
+  });
+  server.add_route("/slo", "application/json", [&slo] {
+    return slo.to_json(obs::SloTracker::now_s());
+  });
+  // The coordinator's liveness probe IS the SLO verdict: burning both
+  // windows on either SLI turns /healthz 503 with the JSON report body.
+  server.set_health_check([&slo] {
+    const std::int64_t now = obs::SloTracker::now_s();
+    return obs::HealthVerdict{slo.healthy(now), slo.to_json(now)};
+  });
   if (!server.start()) {
+    fleet_stop.store(true, std::memory_order_release);
+    fleet_thread.join();
     std::fprintf(stderr, "serve: cannot bind 127.0.0.1:%lld\n", config.port);
     return 1;
   }
   std::printf("coordinating %zu workers on 127.0.0.1:%u (/metrics /healthz"
-              " /composition /classes /appdb /workers /replay)%s\n",
+              " /composition /classes /appdb /workers /replay"
+              " /fleet/metrics /fleet/workers /fleet/traces /slo)%s\n",
               config.workers.size(), server.port(),
               config.duration_s > 0 ? "" : "; interrupt to stop");
   std::fflush(stdout);
@@ -844,6 +1058,8 @@ int ServeApp::run_coordinator() {
 
   // Shutdown: push what remains to the workers (bounded by the stop
   // flag — a dead worker cannot wedge a terminating coordinator).
+  fleet_stop.store(true, std::memory_order_release);
+  fleet_thread.join();
   std::uint64_t acked = 0;
   for (const auto& link : links) {
     link->flush();

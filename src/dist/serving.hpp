@@ -19,7 +19,10 @@
 //     ip over a dist::ShardMap, ships them to the workers through
 //     dist::WorkerLink, and serves the merged fleet view (/composition,
 //     /classes, /appdb, /workers, /replay) by scraping the workers'
-//     own read-only routes.
+//     own read-only routes — plus the fleet observability plane:
+//     federated worker metrics (/fleet/metrics, /fleet/workers), the
+//     stitched cross-process trace (/fleet/traces), and the multi-window
+//     SLO verdict (/slo, folded into /healthz).
 //
 // Determinism contract (what the CI topology smoke proves): each node ip
 // lives on exactly one shard, per-link TCP preserves the coordinator's
@@ -71,6 +74,18 @@ struct ServeOptions {
   long long ingest_port = 0;
   /// Coordinator mode: the shard fleet, in shard-index order.
   std::vector<WorkerEndpoint> workers;
+  /// Coordinator mode: worker /metrics scrape period for the federated
+  /// /fleet/metrics view; each scrape also feeds the availability SLI.
+  long long fleet_scrape_every_ms = 1000;
+  /// Coordinator mode: announce->durable latency above this is a bad
+  /// freshness event for the SLO verdict (/slo, /healthz).
+  long long slo_freshness_ms = 5000;
+  /// Coordinator mode: the SLO short burn-rate window in seconds (the
+  /// long window is 12x, the classic 5m/1h pairing at the default).
+  long long slo_window_s = 300;
+  /// Coordinator mode: shared objective percentage for both SLIs
+  /// (99 -> 0.99 target good fraction).
+  long long slo_objective_pct = 99;
   /// Engine execution width (the CLI forwards its global --threads).
   std::size_t threads = 1;
   core::OnlineOptions online;

@@ -1,5 +1,6 @@
 #include "dist/wire.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/assert.hpp"
@@ -58,9 +59,17 @@ const char* to_string(DecodeStatus status) noexcept {
   return "unknown";
 }
 
+std::uint64_t wall_now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 std::vector<std::uint8_t> encode_frame(const metrics::Snapshot& snapshot,
                                        std::uint64_t seq,
-                                       const obs::TraceContext& trace) {
+                                       const obs::TraceContext& trace,
+                                       std::uint64_t announce_us) {
   const std::vector<std::uint8_t> payload = monitor::encode_packet(snapshot);
   APPCLASS_EXPECTS(!payload.empty() && payload.size() <= kMaxFramePayload);
   std::vector<std::uint8_t> out;
@@ -70,6 +79,7 @@ std::vector<std::uint8_t> encode_frame(const metrics::Snapshot& snapshot,
   put_u64(out, seq);
   put_u64(out, trace.trace_id);
   put_u64(out, trace.span_id);
+  put_u64(out, announce_us);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
   // Checksum covers version..payload — everything after the magic.
@@ -101,7 +111,7 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   // must not masquerade as corruption.
   if (p[4] != kWireVersion) return DecodeStatus::kBadVersion;
   if (have < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
-  const std::uint32_t payload_len = get_u32(p + 29);
+  const std::uint32_t payload_len = get_u32(p + 37);
   if (payload_len == 0 || payload_len > kMaxFramePayload)
     return DecodeStatus::kBadPayload;
   const std::size_t total = kFrameHeaderBytes + payload_len + 8;
@@ -119,6 +129,7 @@ DecodeStatus FrameDecoder::next(Frame& out) {
   out.trace.trace_id = get_u64(p + 13);
   out.trace.span_id = get_u64(p + 21);
   out.trace.parent_span_id = 0;
+  out.announce_us = get_u64(p + 29);
   out.snapshot = *snapshot;
   pos_ += total;
   compact();

@@ -15,6 +15,10 @@
 //   u64  sequence number (== the WAL sequence the worker will log it at)
 //   u64  trace id   } obs::TraceContext, propagated across the process
 //   u64  span id    } boundary so one snapshot yields one span tree
+//   u64  announce time, wall-clock µs (v2) — stamped when the sender
+//        first announces the snapshot; the receiving side derives the
+//        announce→ingested latency from it (clamping negative clock
+//        skew to zero), the sender derives announce→durable-ack
 //   u32  payload length (1..kMaxFramePayload)
 //   ...  payload = monitor::encode_packet(snapshot)
 //   u64  FNV-1a-64 over version..payload
@@ -42,10 +46,11 @@ namespace appclass::dist {
 
 /// Current frame schema version. Bump on any layout change; decoders
 /// reject anything else (the pipeline-serialization v1/v2 precedent).
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2 added the announce-time field to the frame header.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Frame header bytes before the payload (magic..payload_len).
-inline constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 8 + 8 + 8 + 4;
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 8 + 8 + 8 + 8 + 4;
 
 /// Payload size cap: a monitor packet for the longest legal node ip is
 /// well under this; anything larger is a corrupt or hostile length.
@@ -55,8 +60,15 @@ inline constexpr std::uint32_t kMaxFramePayload = 4096;
 struct Frame {
   std::uint64_t seq = 0;
   obs::TraceContext trace;
+  /// Wall-clock µs at which the sender announced the snapshot (0 from
+  /// peers that never stamped one).
+  std::uint64_t announce_us = 0;
   metrics::Snapshot snapshot;
 };
+
+/// Wall-clock microseconds since the Unix epoch — the announce-time
+/// base. Wall clock (not steady) because the value crosses processes.
+std::uint64_t wall_now_us() noexcept;
 
 enum class DecodeStatus {
   kOk,           ///< one frame decoded and consumed
@@ -69,10 +81,12 @@ enum class DecodeStatus {
 
 const char* to_string(DecodeStatus status) noexcept;
 
-/// Encodes one snapshot frame carrying `seq` and the trace context.
+/// Encodes one snapshot frame carrying `seq`, the trace context, and the
+/// announce timestamp (wall_now_us() at first announcement).
 std::vector<std::uint8_t> encode_frame(const metrics::Snapshot& snapshot,
                                        std::uint64_t seq,
-                                       const obs::TraceContext& trace);
+                                       const obs::TraceContext& trace,
+                                       std::uint64_t announce_us = 0);
 
 /// Incremental decoder over a byte stream: append() whatever recv()
 /// returned, then call next() until it stops yielding kOk. Any status

@@ -11,8 +11,23 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-Clock::time_point recorder_epoch() noexcept {
-  static const Clock::time_point epoch = Clock::now();
+/// Monotonic and wall-clock views of the same instant: the monotonic
+/// half timestamps events, the wall half anchors this process's dump on
+/// a fleet-wide time axis (see obs/federate.hpp).
+struct EpochAnchor {
+  Clock::time_point steady;
+  std::int64_t wall_us;
+};
+
+const EpochAnchor& recorder_epoch() noexcept {
+  static const EpochAnchor epoch = [] {
+    EpochAnchor anchor;
+    anchor.steady = Clock::now();
+    anchor.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+    return anchor;
+  }();
   return epoch;
 }
 
@@ -46,8 +61,12 @@ void append_hex(std::string& out, std::uint64_t v) {
 
 std::int64_t trace_now_us() noexcept {
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             Clock::now() - recorder_epoch())
+             Clock::now() - recorder_epoch().steady)
       .count();
+}
+
+std::int64_t recorder_epoch_wall_us() noexcept {
+  return recorder_epoch().wall_us;
 }
 
 /// One thread's ring. `mutex` is uncontended on the record path (only the
@@ -194,53 +213,95 @@ void TraceRecorder::clear() {
   }
 }
 
-std::string TraceRecorder::to_chrome_json() const {
-  const std::vector<TraceEvent> all = events();
+namespace {
+
+/// One event as a standalone JSON chunk (leading newline, no separator
+/// comma) so the capped dump can budget per event.
+std::string event_chunk(const TraceEvent& e) {
   std::string out;
-  out.reserve(128 + all.size() * 160);
-  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-  bool first = true;
-  for (const TraceEvent& e : all) {
-    if (!first) out.push_back(',');
-    first = false;
-    out.append("\n{\"name\":\"");
-    json_escape_into(out, e.name);
-    out.append("\",\"cat\":\"appclass\",\"ph\":\"");
-    out.append(e.phase == TraceEvent::Phase::kSpan ? "X" : "i");
-    out.push_back('"');
-    if (e.phase == TraceEvent::Phase::kInstant) out.append(",\"s\":\"t\"");
-    out.append(",\"pid\":1,\"tid\":");
-    out.append(std::to_string(e.tid));
-    out.append(",\"ts\":");
-    out.append(std::to_string(e.ts_us));
-    if (e.phase == TraceEvent::Phase::kSpan) {
-      out.append(",\"dur\":");
-      out.append(std::to_string(e.dur_us));
-    }
-    out.append(",\"args\":{");
-    bool first_arg = true;
-    if (e.context.active()) {
-      out.append("\"trace_id\":\"");
-      append_hex(out, e.context.trace_id);
-      out.append("\",\"span_id\":\"");
-      append_hex(out, e.context.span_id);
-      out.append("\",\"parent_span_id\":\"");
-      append_hex(out, e.context.parent_span_id);
-      out.push_back('"');
-      first_arg = false;
-    }
-    for (const SpanAttr& attr : e.attrs) {
-      if (!first_arg) out.push_back(',');
-      first_arg = false;
-      out.push_back('"');
-      json_escape_into(out, attr.key);
-      out.append("\":\"");
-      json_escape_into(out, attr.value);
-      out.push_back('"');
-    }
-    out.append("}}");
+  out.reserve(160);
+  out.append("\n{\"name\":\"");
+  json_escape_into(out, e.name);
+  out.append("\",\"cat\":\"appclass\",\"ph\":\"");
+  out.append(e.phase == TraceEvent::Phase::kSpan ? "X" : "i");
+  out.push_back('"');
+  if (e.phase == TraceEvent::Phase::kInstant) out.append(",\"s\":\"t\"");
+  out.append(",\"pid\":1,\"tid\":");
+  out.append(std::to_string(e.tid));
+  out.append(",\"ts\":");
+  out.append(std::to_string(e.ts_us));
+  if (e.phase == TraceEvent::Phase::kSpan) {
+    out.append(",\"dur\":");
+    out.append(std::to_string(e.dur_us));
   }
-  out.append("\n]}\n");
+  out.append(",\"args\":{");
+  bool first_arg = true;
+  if (e.context.active()) {
+    out.append("\"trace_id\":\"");
+    append_hex(out, e.context.trace_id);
+    out.append("\",\"span_id\":\"");
+    append_hex(out, e.context.span_id);
+    out.append("\",\"parent_span_id\":\"");
+    append_hex(out, e.context.parent_span_id);
+    out.push_back('"');
+    first_arg = false;
+  }
+  for (const SpanAttr& attr : e.attrs) {
+    if (!first_arg) out.push_back(',');
+    first_arg = false;
+    out.push_back('"');
+    json_escape_into(out, attr.key);
+    out.append("\":\"");
+    json_escape_into(out, attr.value);
+    out.push_back('"');
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_chrome_json(std::size_t max_bytes) const {
+  const std::vector<TraceEvent> all = events();
+  std::vector<std::string> chunks;
+  chunks.reserve(all.size());
+  for (const TraceEvent& e : all) chunks.push_back(event_chunk(e));
+
+  std::string header = "{\"displayTimeUnit\":\"ms\",\"epochWallUs\":";
+  header.append(std::to_string(recorder_epoch_wall_us()));
+  header.append(",\"traceEvents\":[");
+
+  // Keep the newest events that fit the byte budget (the tail of the
+  // sorted-ascending list); the drop count makes truncation visible.
+  std::size_t begin = 0;
+  if (max_bytes > 0) {
+    // "\n],\"droppedEvents\":<u64>}\n" upper bound.
+    const std::size_t footer_reserve = 24 + 20;
+    std::size_t budget = max_bytes > header.size() + footer_reserve
+                             ? max_bytes - header.size() - footer_reserve
+                             : 0;
+    begin = chunks.size();
+    while (begin > 0 && chunks[begin - 1].size() + 1 <= budget) {
+      budget -= chunks[begin - 1].size() + 1;
+      --begin;
+    }
+  }
+  const std::size_t dropped = begin;
+
+  std::string out;
+  out.reserve(header.size() + 64 + (chunks.size() - begin) * 160);
+  out.append(header);
+  for (std::size_t i = begin; i < chunks.size(); ++i) {
+    if (i > begin) out.push_back(',');
+    out.append(chunks[i]);
+  }
+  if (dropped > 0) {
+    out.append("\n],\"droppedEvents\":");
+    out.append(std::to_string(dropped));
+    out.append("}\n");
+  } else {
+    out.append("\n]}\n");
+  }
   return out;
 }
 

@@ -27,6 +27,11 @@ namespace appclass::obs {
 /// Monotonic; the timestamp base of every recorded event.
 std::int64_t trace_now_us() noexcept;
 
+/// Wall-clock microseconds (Unix epoch) captured at the same instant as
+/// the recorder epoch. Dumped as `epochWallUs` so a fleet stitcher can
+/// align per-process monotonic timestamps onto one time axis.
+std::int64_t recorder_epoch_wall_us() noexcept;
+
 /// One recorded event. `kSpan` maps to a Chrome "X" (complete) event,
 /// `kInstant` to an "i" (instant) event — the log-record hook uses the
 /// latter.
@@ -74,8 +79,12 @@ class TraceRecorder {
 
   /// Chrome trace_event JSON ({"traceEvents":[...]}): "X" complete events
   /// for spans, "i" instants for log records, ids and span attributes
-  /// under "args".
-  std::string to_chrome_json() const;
+  /// under "args", plus an `epochWallUs` wall-clock anchor for
+  /// cross-process stitching. `max_bytes` > 0 bounds the response for
+  /// network serving: the oldest events are dropped until the document
+  /// fits, and a `droppedEvents` count records the truncation. 0 means
+  /// unbounded (file dumps, crash dumps).
+  std::string to_chrome_json(std::size_t max_bytes = 0) const;
 
   /// Writes to_chrome_json() to `path`; false if the file cannot be
   /// opened or written.

@@ -256,8 +256,26 @@ void ScrapeServer::serve_loop() {
                       "application/json", body);
       }
     } else if (request.path == "/traces/recent") {
-      send_response(fd, "200 OK", "application/json",
-                    TraceRecorder::global().to_chrome_json());
+      // Dumping serializes every thread ring; bound both the response
+      // size and the dump rate so the trace route cannot be used (or
+      // misused) to stall recording threads or flood the wire.
+      const std::int64_t now_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      const std::int64_t last =
+          last_trace_dump_ms_.load(std::memory_order_relaxed);
+      if (options_.trace_dump_min_interval_ms > 0 && last >= 0 &&
+          now_ms - last < options_.trace_dump_min_interval_ms) {
+        registry.counter("appclass_scrape_trace_throttled_total").inc();
+        send_response(fd, "429 Too Many Requests", "text/plain",
+                      "trace dump rate limited\n");
+      } else {
+        last_trace_dump_ms_.store(now_ms, std::memory_order_relaxed);
+        send_response(fd, "200 OK", "application/json",
+                      TraceRecorder::global().to_chrome_json(
+                          options_.max_trace_response_bytes));
+      }
     } else if (const auto it = routes_.find(request.path);
                it != routes_.end()) {
       send_response(fd, "200 OK", it->second.content_type,

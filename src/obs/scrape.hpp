@@ -52,6 +52,18 @@ struct ScrapeServerOptions {
   /// restarted worker reclaim a port still held by its dead predecessor.
   int bind_retries = 0;
   int bind_retry_initial_ms = 100;
+  /// Byte cap on the /traces/recent response: the flight recorder keeps
+  /// up to capacity * threads events, and an unbounded dump over a slow
+  /// connection would wedge the accept thread. The oldest events drop
+  /// first (to_chrome_json's `droppedEvents` marks the cut). 0 =
+  /// unbounded.
+  std::size_t max_trace_response_bytes = 4 * 1024 * 1024;
+  /// Minimum interval between /traces/recent dumps; requests inside the
+  /// window get 429 Too Many Requests. Dumping walks and serializes
+  /// every thread ring under its locks, so a scrape loop pointed at the
+  /// trace route by mistake must not become a recording stall. 0 = no
+  /// limit.
+  int trace_dump_min_interval_ms = 0;
 };
 
 /// Verdict of an installed health check (see set_health_check()).
@@ -103,6 +115,10 @@ class ScrapeServer {
 
   void serve_loop();
   Counter& route_counter(const std::string& path);
+
+  /// Monotonic ms of the last served /traces/recent dump (accept-thread
+  /// only; atomic so a future multi-acceptor stays correct).
+  std::atomic<std::int64_t> last_trace_dump_ms_{-1};
 
   ScrapeServerOptions options_;
   std::map<std::string, Route> routes_;

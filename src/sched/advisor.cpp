@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace appclass::sched {
 
@@ -63,7 +65,25 @@ std::vector<std::pair<std::string, double>> PlacementAdvisor::ranking(
 std::optional<std::string> PlacementAdvisor::recommend(
     core::ApplicationClass cls,
     std::span<const std::string> candidates) const {
+  // Each recommendation is one scheduling decision: a span (when tracing)
+  // carrying the job class and the chosen placement, and a per-class
+  // decision counter. The class label set is closed (the five paper
+  // classes), so labeling by name cannot explode cardinality.
+  obs::TraceSpan span("sched_advise");
+  obs::MetricsRegistry::global()
+      .counter("appclass_sched_advice_total",
+               {{"class", std::string(core::to_string(cls))}})
+      .inc();
   const auto ranked = ranking(cls, candidates);
+  if (span.recording()) {
+    span.add_attr({"class", core::to_string(cls)});
+    span.add_attr({"candidates", candidates.size()});
+    span.add_attr({"ranked", ranked.size()});
+    if (!ranked.empty()) {
+      span.add_attr({"chosen", ranked.front().first});
+      span.add_attr({"headroom", ranked.front().second});
+    }
+  }
   if (ranked.empty()) return std::nullopt;
   return ranked.front().first;
 }

@@ -9,6 +9,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "sim/testbed.hpp"
 #include "workloads/catalog.hpp"
 
@@ -47,6 +48,9 @@ int overlap_penalty(const PlacementProblem& problem,
 Placement greedy_place(const PlacementProblem& problem) {
   APPCLASS_EXPECTS(problem.feasible());
   GreedyMetrics& gm = greedy_metrics();
+  // One placement decision = one span (exemplar ties the stage histogram
+  // back to this trace) with the problem shape and outcome attached.
+  obs::TraceSpan span("greedy_place", &gm.place_seconds);
   obs::ScopedTimer place_timer(gm.place_seconds);
   Placement placement(problem.vm_count);
 
@@ -87,6 +91,11 @@ Placement greedy_place(const PlacementProblem& problem) {
   const double seconds = place_timer.stop();
   gm.placements.inc();
   gm.jobs_placed.inc(problem.jobs.size());
+  if (span.recording()) {
+    span.add_attr({"jobs", problem.jobs.size()});
+    span.add_attr({"vms", problem.vm_count});
+    span.add_attr({"penalty", overlap_penalty(problem, placement)});
+  }
   APPCLASS_LOG_DEBUG("sched.greedy_place", {"jobs", problem.jobs.size()},
                      {"vms", problem.vm_count},
                      {"penalty", overlap_penalty(problem, placement)},

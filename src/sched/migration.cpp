@@ -1,5 +1,8 @@
 #include "sched/migration.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace appclass::sched {
 
 StageAwareMigrator::StageAwareMigrator(sim::Engine& engine,
@@ -21,8 +24,21 @@ void StageAwareMigrator::on_change(const core::BehaviourChange& change) {
       preferences_.preferred_vm[core::index_of(change.to)];
   if (!preferred || *preferred == info.vm) return;
 
+  // One migration decision = one span: the behaviour change that
+  // triggered it, the chosen destination, and the downtime it cost.
+  obs::TraceSpan span("sched_migrate");
+  if (span.recording()) {
+    span.add_attr({"node", change.node_ip});
+    span.add_attr({"to_class", core::to_string(change.to)});
+    span.add_attr({"dest_vm", static_cast<std::uint64_t>(*preferred)});
+  }
   const sim::SimTime downtime = engine_.migrate(target_, *preferred);
+  if (span.recording()) span.add_attr({"downtime", downtime});
   if (downtime > 0) {
+    obs::MetricsRegistry::global()
+        .counter("appclass_sched_migrations_total",
+                 {{"class", std::string(core::to_string(change.to))}})
+        .inc();
     ++migrations_;
     downtime_ += downtime;
   }

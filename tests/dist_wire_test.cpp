@@ -72,6 +72,33 @@ TEST(DistWire, FrameRoundTripPreservesSnapshotSeqAndTrace) {
   EXPECT_EQ(decoder.next(frame), DecodeStatus::kNeedMore);
 }
 
+TEST(DistWire, AnnounceTimestampRoundTripsThroughTheHeader) {
+  // v2 stamps the announce wall-clock into the frame header: the worker
+  // derives announce->ingested latency from it, the sender
+  // announce->durable-ack. Omitting it keeps the legacy zero.
+  const metrics::Snapshot snapshot = sample_snapshot();
+  const auto stamped =
+      encode_frame(snapshot, 7, sample_trace(), 1'722'000'000'123'456ull);
+  FrameDecoder decoder;
+  decoder.append(stamped);
+  Frame frame;
+  ASSERT_EQ(decoder.next(frame), DecodeStatus::kOk);
+  EXPECT_EQ(frame.announce_us, 1'722'000'000'123'456ull);
+  EXPECT_EQ(frame.seq, 7u);
+
+  const auto unstamped = encode_frame(snapshot, 8, {});
+  FrameDecoder decoder2;
+  decoder2.append(unstamped);
+  ASSERT_EQ(decoder2.next(frame), DecodeStatus::kOk);
+  EXPECT_EQ(frame.announce_us, 0u);
+
+  // wall_now_us is a plausible Unix-epoch stamp, not a steady clock:
+  // any date past 2020 and before 2100 (in µs) passes.
+  const std::uint64_t now = wall_now_us();
+  EXPECT_GT(now, 1'577'836'800'000'000ull);
+  EXPECT_LT(now, 4'102'444'800'000'000ull);
+}
+
 TEST(DistWire, DecoderReassemblesByteAtATime) {
   // Two back-to-back frames fed one byte at a time: the decoder must
   // yield each exactly once, at exactly the byte that completes it.

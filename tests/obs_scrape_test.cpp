@@ -265,6 +265,55 @@ TEST(ObsScrapeHardening, OversizedRequestIsRefusedWith431) {
   ok.stop();
 }
 
+TEST(ObsScrapeHardening, TraceResponseIsByteCappedWithVisibleDrop) {
+  obs::TraceRecorder::global().clear();
+  obs::set_tracing_enabled(true);
+  for (int i = 0; i < 200; ++i) {
+    obs::TraceSpan span("cap_test_span_with_a_reasonably_long_name");
+  }
+  obs::set_tracing_enabled(false);
+
+  obs::ScrapeServer server({.max_trace_response_bytes = 1024});
+  ASSERT_TRUE(server.start());
+  const std::string response =
+      http_request(server.port(), "GET /traces/recent");
+  server.stop();
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  // 200 spans cannot fit 1KiB: the body stays under the cap and the
+  // truncation is visible rather than silent.
+  const std::size_t body = response.find("\r\n\r\n");
+  ASSERT_NE(body, std::string::npos);
+  EXPECT_LE(response.size() - (body + 4), 1024u);
+  EXPECT_NE(response.find("\"droppedEvents\":"), std::string::npos);
+}
+
+TEST(ObsScrapeHardening, RapidTraceDumpsAreRateLimitedWith429) {
+  const auto throttled = [] {
+    const auto snapshot = obs::MetricsRegistry::global().snapshot();
+    const auto* c =
+        snapshot.find_counter("appclass_scrape_trace_throttled_total");
+    return c ? c->value : std::uint64_t{0};
+  };
+  obs::ScrapeServer server({.trace_dump_min_interval_ms = 60000});
+  ASSERT_TRUE(server.start());
+
+  const std::uint64_t before = throttled();
+  const std::string first =
+      http_request(server.port(), "GET /traces/recent");
+  EXPECT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos);
+  // Inside the min-interval window: refused, so a scrape loop pointed
+  // at the trace route cannot stall recording.
+  const std::string second =
+      http_request(server.port(), "GET /traces/recent");
+  EXPECT_NE(second.find("HTTP/1.1 429"), std::string::npos) << second;
+  EXPECT_EQ(throttled(), before + 1);
+  // Other routes are unaffected by the trace throttle.
+  const std::string metrics = http_request(server.port(), "GET /metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  server.stop();
+}
+
 TEST(ObsScrapeHardening, BindRetryClaimsPortReleasedDuringBackoff) {
   obs::ScrapeServer holder;
   ASSERT_TRUE(holder.start());

@@ -33,6 +33,8 @@
 //                      [--sync-every=N] [--checkpoint-every=N]
 //                      [--max-backlog=N] [--supervised] [--ingest-port=N]
 //                      [--workers=SCRAPE:INGEST,...]
+//                      [--fleet-scrape-every=MS] [--slo-freshness-ms=MS]
+//                      [--slo-window=S] [--slo-objective=PCT]
 //       The unified serving surface (src/dist/serving.hpp). The default
 //       --mode=single replays the five canonical workload streams through
 //       a FleetStream with a model-health aggregator attached and exposes
@@ -56,7 +58,16 @@
 //       after the WAL append. --mode=coordinator shards the replay by
 //       node ip across --workers=SCRAPE:INGEST[,...] endpoints and
 //       serves the merged fleet view (/composition, /classes, /appdb,
-//       /workers, /replay); see docs/serving.md for topology recipes.
+//       /workers, /replay) plus the fleet observability plane: federated
+//       worker metrics on /fleet/metrics (scraped every
+//       --fleet-scrape-every ms; per-worker scrape health on
+//       /fleet/workers), the stitched cross-process Chrome trace on
+//       /fleet/traces, and a multi-window error-budget SLO verdict on
+//       /slo — announce->durable freshness against --slo-freshness-ms
+//       and worker scrape availability, both targeting --slo-objective
+//       percent over --slo-window seconds (long window 12x) — which
+//       also drives the coordinator's /healthz 200/503. See
+//       docs/serving.md for topology recipes.
 //   appclass_cli trace dump <model.txt> <pool.csv> <out.json>
 //       Classify a pool with tracing enabled and dump the flight
 //       recorder's Chrome trace JSON (Perfetto-loadable) to out.json.
@@ -139,6 +150,8 @@ int usage() {
                "        [--checkpoint-every=N] [--max-backlog=N]"
                " [--supervised]\n"
                "        [--ingest-port=N] [--workers=SCRAPE:INGEST,...]\n"
+               "        [--fleet-scrape-every=MS] [--slo-freshness-ms=MS]\n"
+               "        [--slo-window=S] [--slo-objective=PCT]\n"
                "  trace dump <model.txt> <pool.csv> <out.json>\n"
                "flags:\n"
                "  --log-level=<trace|debug|info|warn|error|off>  stderr "
